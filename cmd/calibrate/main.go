@@ -1,0 +1,109 @@
+// Command calibrate measures the simulated platform's timing parameters —
+// the numbers the original artifact's README tells users to discover and
+// put in src/utils.hh before running the attack: LLC hit latency, LLC miss
+// latency, the hit/miss threshold, and the flush-latency split that
+// Flush+Flush decodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/params"
+	"streamline/internal/stats"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "skylake", "machine model: skylake, kabylake, coffeelake")
+		samples = flag.Int("samples", 50000, "measurements per experiment")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var m *params.Machine
+	switch *machine {
+	case "skylake":
+		m = params.SkylakeE3()
+	case "kabylake":
+		m = params.KabyLakeI7()
+	case "coffeelake":
+		m = params.CoffeeLakeI5()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+
+	h, err := hier.New(m, hier.Options{Seed: *seed, DisablePrefetch: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	alloc := mem.NewAllocator(m.PageSize)
+	buf := alloc.Alloc(64 << 20)
+
+	hitHist := stats.NewHistogram(0, 2, 400)
+	missHist := stats.NewHistogram(0, 2, 400)
+	now := uint64(0)
+
+	// LLC-hit latency: install from core 0, read from core 1 (cross-core,
+	// so the line is in neither private cache of the reader).
+	for i := 0; i < *samples; i++ {
+		a := buf.AddrAt(i % 1000 * m.PageSize * 3 % buf.Size / 64 * 64)
+		h.Access(0, a, now)
+		now += 400
+		r := h.Access(1, a, now)
+		hitHist.Add(r.Latency)
+		now += uint64(r.Latency)
+		h.Flush(1, a)
+		now += 300
+	}
+	// LLC-miss latency: read never-cached lines.
+	next := 0
+	for i := 0; i < *samples; i++ {
+		a := buf.AddrAt(next)
+		next = (next + 3*64) % buf.Size
+		h.Flush(1, a)
+		r := h.Access(1, a, now)
+		missHist.Add(r.Latency)
+		now += uint64(r.Latency) + 250
+	}
+
+	hitP99 := hitHist.Percentile(0.99)
+	missP1 := missHist.Percentile(0.01)
+	threshold := (hitP99 + missP1) / 2
+
+	fmt.Printf("machine:            %s (%d MHz, %d cores)\n", m.Name, m.FreqMHz, m.Cores)
+	fmt.Printf("LLC:                %d MB, %d-way, %d sets\n",
+		m.LLC.SizeBytes>>20, m.LLC.Ways, m.LLC.Sets())
+	fmt.Printf("LLC-hit latency:    mean %.0f cycles (p99 %d)\n", hitHist.Mean(), hitP99)
+	fmt.Printf("LLC-miss latency:   mean %.0f cycles (p1 %d)\n", missHist.Mean(), missP1)
+	fmt.Printf("suggested threshold:%d cycles (configured: %d)\n", threshold, m.Lat.Threshold)
+	fmt.Printf("flush latency:      cached %d / uncached %d cycles\n",
+		m.Lat.FlushLatency, m.Lat.FlushMiss)
+	fmt.Printf("expected bit period:%.0f cycles -> %.0f KB/s\n",
+		float64(2*m.Lat.TimerOverhead+m.Lat.LoopOverhead)+
+			(hitHist.Mean()+missHist.Mean())/2,
+		m.CyclesToKBps(float64(2*m.Lat.TimerOverhead+m.Lat.LoopOverhead)+
+			(hitHist.Mean()+missHist.Mean())/2))
+	fmt.Printf("sub-threshold misses: %.3f%% of misses (the 1->0 error tail)\n",
+		subThresholdPct(missHist, threshold))
+}
+
+func subThresholdPct(h *stats.Histogram, threshold int) float64 {
+	below, total := 0, 0
+	for i, c := range h.Counts {
+		v := h.Min + i*h.Width
+		if v < threshold {
+			below += c
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(below) / float64(total)
+}

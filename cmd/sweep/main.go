@@ -1,0 +1,72 @@
+// Command sweep regenerates the paper's tables and figures (the role of
+// the original artifact's run_exp.sh). Each experiment is addressed by the
+// paper's artifact id.
+//
+// Examples:
+//
+//	sweep -exp table1
+//	sweep -exp fig9 -runs 5
+//	sweep -exp all
+//	sweep -exp all -full        # the paper's own payload sizes (hours)
+//	sweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streamline/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (or 'all')")
+		list  = flag.Bool("list", false, "list experiment ids")
+		seed  = flag.Uint64("seed", 1, "base seed")
+		runs  = flag.Int("runs", 0, "repetitions per data point (0 = default 3; paper uses 5)")
+		full  = flag.Bool("full", false, "paper-scale payload sizes (up to 1e9 bits; hours)")
+		quick = flag.Bool("quick", false, "smoke-test sizes")
+		quiet = flag.Bool("q", false, "suppress progress lines")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: sweep -exp <id|all> (see -list)")
+		os.Exit(2)
+	}
+
+	opts := experiments.Opts{Seed: *seed, Runs: *runs, Full: *full, Quick: *quick}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			tab.FormatCSV(os.Stdout)
+		} else {
+			tab.Format(os.Stdout)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s took %s]\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

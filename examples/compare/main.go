@@ -1,0 +1,45 @@
+// Compare: run every implemented covert channel — the paper's Table 6 —
+// and print the achieved bit-rates and error rates side by side.
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamline"
+)
+
+func main() {
+	fmt.Printf("%-20s %-11s %12s %10s\n", "attack", "model", "bit-rate", "errors")
+
+	for _, name := range streamline.BaselineNames() {
+		a, err := streamline.Baseline(name, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 50000
+		if name == "thrash+reload" {
+			n = 60 // each bit thrashes the entire LLC
+		}
+		res, err := a.Run(streamline.RandomBits(1, n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rate := fmt.Sprintf("%7.0f KB/s", res.BitRateKBps)
+		if res.BitRateKBps < 1 {
+			rate = fmt.Sprintf("%5.0f bits/s", res.BitRateKBps*8192)
+		}
+		fmt.Printf("%-20s %-11s %12s %9.2f%%\n", a.Name(), a.Model(), rate, res.Errors.Rate()*100)
+	}
+
+	res, err := streamline.Run(streamline.DefaultConfig(), streamline.RandomBits(1, 1000000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-20s %-11s %7.0f KB/s %9.2f%%\n",
+		"streamline (ours)", "cross-core", res.BitRateKBps, res.Errors.Rate()*100)
+	fmt.Println("\nasynchronous, flushless transmission beats every synchronous channel")
+	fmt.Println("by 3x or more (paper Table 6)")
+}

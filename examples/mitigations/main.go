@@ -1,0 +1,56 @@
+// Mitigations: the Section 7 defense walkthrough. The same payload is sent
+// over the channel while each mitigation strategy is active, and a
+// performance-counter detector profiles the cores — showing, as the paper
+// argues, that detection is non-specific, noise injection degrades but
+// does not break the channel, and isolation kills it outright.
+//
+//	go run ./examples/mitigations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamline"
+	"streamline/internal/defense"
+)
+
+func main() {
+	bits := streamline.RandomBits(42, 300000)
+
+	run := func(name string, mutate func(*streamline.Config)) *streamline.Result {
+		cfg := streamline.DefaultConfig()
+		mutate(&cfg)
+		res, err := streamline.Run(cfg, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %6.0f KB/s  %6.2f%% errors\n",
+			name, res.BitRateKBps, res.Errors.Rate()*100)
+		return res
+	}
+
+	fmt.Println("== channel under each Section 7 mitigation")
+	base := run("no mitigation", func(*streamline.Config) {})
+	camo := run("adaptive camouflage", func(c *streamline.Config) { c.CamouflageAccesses = 3 })
+	run("random-fill cache (p=0.2)", func(c *streamline.Config) { c.RandomFillProb = 0.2 })
+	run("way partitioning (8+8)", func(c *streamline.Config) { c.PartitionWays = 8 })
+
+	fmt.Println("\n== performance-counter detection (HexPADS-style)")
+	det := defense.NewDetector()
+	fmt.Printf("thresholds: >%.1f accesses/kcycle and >%.0f%% LLC miss rate\n",
+		det.MinAccessesPerKCycle, det.MinLLCMissRate*100)
+	for _, v := range det.Inspect(base.CoreServed, base.Cycles) {
+		fmt.Println(" ", v)
+	}
+	fmt.Println("the flagged profile — a fast, miss-heavy streamer — matches any")
+	fmt.Println("memory-streaming application, so the detector cannot single out")
+	fmt.Println("Streamline without drowning in false positives (Section 7)")
+
+	fmt.Println("\n== the same detector against the camouflaged attack")
+	for _, v := range det.Inspect(camo.CoreServed, camo.Cycles) {
+		fmt.Println(" ", v)
+	}
+	fmt.Println("three extra warm loads per bit dilute the miss ratio below the")
+	fmt.Println("threshold: the adaptive variant trades ~20% bit-rate for invisibility")
+}

@@ -1,0 +1,37 @@
+// Quickstart: send a short message over the Streamline covert channel
+// between two colluding processes on the simulated Skylake machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamline"
+)
+
+func main() {
+	// The paper's default configuration: 64 MB shared array, PRNG channel
+	// encoding, trailing accesses, rate-limited sender, coarse sync every
+	// 200000 bits. ECC wraps the payload in (72,64) Hamming packets.
+	cfg := streamline.DefaultConfig()
+	cfg.ECC = true
+
+	secret := []byte("exfiltrated: the launch code is 0x5EED-C0FFEE. " +
+		"this message crossed cores through the last-level cache, " +
+		"without a single clflush.")
+
+	xfer, err := streamline.Send(cfg, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sent     %d bytes\n", len(secret))
+	fmt.Printf("received %q\n", xfer.Received)
+	res := xfer.Result
+	fmt.Printf("channel: %.0f KB/s effective (%.1f-cycle bit period), %.2f%% residual bit errors\n",
+		res.BitRateKBps, res.BitPeriodCycles(), res.Errors.Rate()*100)
+	fmt.Printf("         %d channel bits, max sender-receiver gap %d bits\n",
+		res.ChannelBits, res.MaxGap)
+}

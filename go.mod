@@ -1,0 +1,3 @@
+module streamline
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package attacks implements the prior-work covert channels the paper
+// compares against (Table 6, Figure 11): Flush+Reload, Flush+Flush,
+// Prime+Probe on the LLC and on the L1 (Percival-style), Thrash+Reload,
+// and Take-A-Way. All are synchronous epoch protocols: sender and receiver
+// share a bit period ("window") and perform their per-bit operations at
+// agreed offsets inside it, with imperfect alignment modelled as jitter.
+//
+// Each attack runs on the same simulated hierarchy as Streamline, so the
+// comparison measures protocol structure (synchronous vs asynchronous,
+// flush vs thrash) rather than differences in substrate.
+package attacks
+
+import (
+	"fmt"
+
+	"streamline/internal/hier"
+	"streamline/internal/params"
+	"streamline/internal/rng"
+	"streamline/internal/stats"
+)
+
+// Result reports one attack run.
+type Result struct {
+	Bits        int
+	Cycles      uint64
+	BitRateKBps float64
+	Errors      stats.ErrorBreakdown
+}
+
+// Attack is a covert channel that transmits a bit vector and reports the
+// achieved rate and error.
+type Attack interface {
+	// Name identifies the attack (e.g. "flush+reload").
+	Name() string
+	// Model is "cross-core" or "same-core".
+	Model() string
+	// Run transmits bits and returns the measurement.
+	Run(bits []byte) (*Result, error)
+}
+
+// epochEnv bundles what the synchronous attacks share: a hierarchy, a
+// window, and alignment jitter.
+type epochEnv struct {
+	h      *hier.Hierarchy
+	m      *params.Machine
+	x      *rng.Xoshiro
+	window uint64
+	// alignSD is the per-epoch scheduling jitter each side suffers when
+	// re-synchronizing on rdtscp (cycles).
+	alignSD float64
+}
+
+func newEpochEnv(m *params.Machine, window uint64, seed uint64) (*epochEnv, error) {
+	if m == nil {
+		m = params.SkylakeE3()
+	}
+	if window == 0 {
+		return nil, fmt.Errorf("attacks: zero window")
+	}
+	h, err := hier.New(m, hier.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &epochEnv{h: h, m: m, x: rng.New(seed ^ 0xa77ac), window: window, alignSD: 150}, nil
+}
+
+// requireFlush fails on platforms without unprivileged cache-line flushes.
+func (e *epochEnv) requireFlush(attack string) error {
+	if e.m.NoUnprivilegedFlush {
+		return fmt.Errorf("attacks: %s needs an unprivileged flush instruction, which %s does not provide", attack, e.m.Name)
+	}
+	return nil
+}
+
+// jitter returns a non-negative alignment offset.
+func (e *epochEnv) jitter() uint64 {
+	v := e.x.Norm() * e.alignSD
+	if v < 0 {
+		v = -v
+	}
+	return uint64(v)
+}
+
+func (e *epochEnv) result(bits, decoded []byte, cycles uint64) (*Result, error) {
+	br, err := stats.Compare(bits, decoded)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Bits: len(bits), Cycles: cycles, Errors: br}
+	secs := float64(cycles) / (float64(e.m.FreqMHz) * 1e6)
+	if secs > 0 {
+		res.BitRateKBps = float64(len(bits)) / 8192.0 / secs
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+package attacks
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/pattern"
+)
+
+// ThrashReload is the flushless Flush+Reload variant of NetSpectre
+// (Schwarz et al., ESORICS'19): with no clflush available, the receiver
+// resets the channel each bit by thrashing the whole LLC — walking a
+// buffer larger than the cache so the shared line is evicted by capacity
+// pressure. The thrash makes each bit period enormous; the paper uses it
+// to show that thrashing per bit (synchronously) is ~14000x slower than
+// Streamline's amortized thrash-by-transmission.
+type ThrashReload struct {
+	env          *epochEnv
+	addr         mem.Addr
+	buf          mem.Region
+	pat          pattern.Pattern
+	thrashBits   uint64
+	sCore, rCore int
+	// Laps is how many thrash passes the receiver makes per bit. The
+	// LLC's scan-resistant replacement shields a recently reloaded line
+	// from a single pass, so several are needed for reliable eviction.
+	Laps int
+}
+
+// NewThrashReload builds the attack. There is no meaningful window
+// parameter: the bit period is dominated by the thrash itself.
+func NewThrashReload(seed uint64) (*ThrashReload, error) {
+	env, err := newEpochEnv(nil, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	alloc := mem.NewAllocator(env.m.PageSize)
+	shared := alloc.Alloc(env.m.PageSize)
+	// The thrash must actually evict: a plain sequential walk is eaten by
+	// the streamer prefetcher, whose distant-age prefetch fills absorb
+	// every eviction and leave resident lines untouched. Walk with the
+	// prefetcher-resistant stride-3 pattern instead, sized so one lap
+	// covers 1.5x the LLC in distinct lines.
+	buf := alloc.Alloc(env.m.LLC.SizeBytes * 9 / 2)
+	pat := pattern.NewStreamline(env.h.Geometry())
+	return &ThrashReload{
+		env:        env,
+		addr:       shared.Base,
+		buf:        buf,
+		pat:        pat,
+		thrashBits: pat.LapBits(buf.Size),
+		sCore:      0,
+		rCore:      1,
+		Laps:       2,
+	}, nil
+}
+
+// Name implements Attack.
+func (a *ThrashReload) Name() string { return "thrash+reload" }
+
+// Model implements Attack.
+func (a *ThrashReload) Model() string { return "cross-core" }
+
+// Run implements Attack. Warning: each bit simulates an LLC-sized buffer
+// walk, so keep payloads small (hundreds of bits).
+func (a *ThrashReload) Run(bits []byte) (*Result, error) {
+	e := a.env
+	lat := e.m.Lat
+	decoded := make([]byte, len(bits))
+	t := uint64(0)
+	for i, b := range bits {
+		// Sender encodes.
+		if b == 0 {
+			r := e.h.Access(a.sCore, a.addr, t)
+			t += uint64(r.Latency)
+		} else {
+			t += 40
+		}
+		// Receiver decodes.
+		r := e.h.Access(a.rCore, a.addr, t)
+		if r.Latency <= lat.Threshold {
+			decoded[i] = 0
+		} else {
+			decoded[i] = 1
+		}
+		t += uint64(r.Latency) + uint64(2*lat.TimerOverhead)
+		// Receiver resets by thrashing: prefetcher-resistant laps over
+		// the buffer until capacity pressure ages the shared line out.
+		for lap := 0; lap < a.Laps; lap++ {
+			for j := uint64(0); j < a.thrashBits; j++ {
+				rr := e.h.Access(a.rCore, a.buf.AddrAt(a.pat.Offset(j, a.buf.Size)), t)
+				t += uint64(rr.Latency)/uint64(e.m.MLP) + 2
+			}
+		}
+		// Coarse re-synchronization before the next bit.
+		t += 2000 + e.jitter()
+	}
+	return e.result(bits, decoded, t)
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"streamline/internal/ecc"
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/noise"
+	"streamline/internal/pattern"
+	"streamline/internal/payload"
+	"streamline/internal/rng"
+	"streamline/internal/sched"
+	"streamline/internal/stats"
+	"streamline/internal/syncch"
+	"streamline/internal/tlb"
+)
+
+// GapSample is one (bits transmitted, sender-receiver gap) observation.
+type GapSample struct {
+	Bits int64
+	Gap  int64
+}
+
+// Result reports one channel run.
+type Result struct {
+	// PayloadBits is the number of data bits the caller asked to send.
+	PayloadBits int
+	// ChannelBits is the number of bits actually transmitted on the
+	// channel (payload, plus ECC expansion if enabled).
+	ChannelBits int
+	// Cycles is the receiver's start-to-end time.
+	Cycles uint64
+	// BitRateKBps is the payload bit-rate in KB/s, the paper's metric:
+	// with ECC enabled this is the effective data rate.
+	BitRateKBps float64
+	// ChannelKBps is the raw channel bit-rate (equals BitRateKBps without
+	// ECC).
+	ChannelKBps float64
+	// Errors is the payload-level bit-error breakdown (post-correction
+	// when ECC is on).
+	Errors stats.ErrorBreakdown
+	// RawErrors is the channel-level breakdown before any correction.
+	RawErrors stats.ErrorBreakdown
+	// ECCStats reports packet corrections/detections when ECC is on.
+	ECCStats ecc.Result
+	// MaxGap is the largest sender-receiver gap observed (bits).
+	MaxGap int64
+	// GapSamples traces the gap over time when Config.GapSampleEvery > 0.
+	GapSamples []GapSample
+	// SyncWaits and SyncTimeouts count epoch-boundary waits and fail-safe
+	// resumes.
+	SyncWaits, SyncTimeouts uint64
+	// Decoded is the recovered payload bit vector.
+	Decoded []byte
+	// ReceiverLevels counts the receiver's decoded loads by serving level
+	// (L1, L2, LLC, DRAM).
+	ReceiverLevels [4]uint64
+	// CoreServed holds the per-core hierarchy counters (L1, L2, LLC,
+	// DRAM) for the whole run — what a performance-counter detector
+	// (Section 7) would read.
+	CoreServed [][4]uint64
+	// BurstSingleFrac01 and BurstSingleFrac10 are the fractions of
+	// physical-level error bursts of length one, per direction. The paper
+	// observes (Section 4.3) that 1→0 errors (latency tail) are isolated
+	// single-bit events while 0→1 errors (evictions) arrive in bursts.
+	BurstSingleFrac01, BurstSingleFrac10 float64
+	// MaxBurst01 is the longest 0→1 error burst observed.
+	MaxBurst01 int
+	// LevelTrace holds each channel bit's serving level when
+	// Config.TraceLevels is set.
+	LevelTrace []byte
+}
+
+// BitPeriodCycles returns the average cycles per channel bit.
+func (r *Result) BitPeriodCycles() float64 {
+	if r.ChannelBits == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.ChannelBits)
+}
+
+// Run transmits payloadBits (a 0/1 vector) over the channel described by
+// cfg and returns the measured Result.
+func Run(cfg Config, payloadBits []byte) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(payloadBits) == 0 {
+		return nil, fmt.Errorf("core: empty payload")
+	}
+
+	hopt := hier.Options{
+		LLCPolicy:       cfg.LLCPolicy,
+		DisablePrefetch: cfg.DisablePrefetch,
+		DRAM:            cfg.DRAM,
+		Seed:            cfg.Seed,
+		RandomFillProb:  cfg.RandomFillProb,
+	}
+	if !cfg.HugePages {
+		t := tlb.Skylake4K()
+		hopt.TLB = &t
+	}
+	if cfg.PartitionWays > 0 {
+		// Sender and receiver land in separate trust domains; everything
+		// else shares the sender's.
+		hopt.PartitionWays = cfg.PartitionWays
+		domains := make([]int, cfg.Machine.Cores)
+		domains[cfg.ReceiverCore] = 1
+		hopt.CoreDomains = domains
+	}
+	h, err := hier.New(cfg.Machine, hopt)
+	if err != nil {
+		return nil, err
+	}
+	alloc := mem.NewAllocator(cfg.Machine.PageSize)
+	arr := alloc.Alloc(cfg.ArraySize)
+	syncRegion := alloc.Alloc(syncch.RegionBytes(h))
+
+	pat := cfg.Pattern
+	if pat == nil {
+		pat = pattern.NewStreamline(h.Geometry())
+	}
+
+	// Build the transmitted bit stream: optional ECC, an optional
+	// transient-burning preamble, then optional PRNG modulation.
+	chanBits := payloadBits
+	if cfg.ECC {
+		chanBits = ecc.Encode(payloadBits)
+	}
+	stream := chanBits
+	if cfg.PreambleBits > 0 {
+		stream = append(payload.Random(cfg.KeySeed^0x9aeab1e, cfg.PreambleBits), chanBits...)
+	}
+	tx := stream
+	if cfg.Modulate {
+		tx = payload.Modulate(stream, cfg.KeySeed)
+	}
+
+	sc, err := syncch.New(h, syncRegion)
+	if err != nil {
+		return nil, err
+	}
+	// Camouflage buffers: private per-agent regions whose lines stay warm
+	// in the LLC, supplying the hit traffic that dilutes each agent's
+	// miss ratio (Config.CamouflageAccesses).
+	var sndCamo, rcvCamo *camo
+	if cfg.CamouflageAccesses > 0 {
+		sndCamo = newCamo(h, cfg.SenderCore, alloc.Alloc(1<<20), cfg.CamouflageAccesses)
+		rcvCamo = newCamo(h, cfg.ReceiverCore, alloc.Alloc(1<<20), cfg.CamouflageAccesses)
+	}
+	rcv := &receiver{
+		cfg:  &cfg,
+		h:    h,
+		arr:  arr,
+		pat:  pat,
+		rx:   make([]byte, len(tx)),
+		sync: sc,
+		camo: rcvCamo,
+		x:    rng.New(cfg.Seed ^ 0x4ecf),
+	}
+	if cfg.TraceLevels {
+		rcv.levelTrace = make([]byte, len(tx))
+	}
+	snd := &sender{
+		cfg:      &cfg,
+		h:        h,
+		arr:      arr,
+		pat:      pat,
+		tx:       tx,
+		sync:     sc,
+		camo:     sndCamo,
+		x:        rng.New(cfg.Seed ^ 0x5e4d),
+		recvI:    &rcv.Bits,
+		gapEvery: int64(cfg.GapSampleEvery),
+	}
+
+	// Setup-time page faulting: the sender's initialization walks the
+	// start of the shared file, leaving those lines warm (see
+	// Config.WarmupBytes).
+	if w := cfg.WarmupBytes; w > 0 {
+		if w > cfg.ArraySize {
+			w = cfg.ArraySize
+		}
+		lineBytes := h.Geometry().LineBytes
+		for off := 0; off < w; off += lineBytes {
+			h.Access(cfg.SenderCore, arr.AddrAt(off), 0)
+		}
+	}
+
+	var s sched.Scheduler
+	s.MaxSteps = uint64(len(tx))*64 + 1<<22
+	s.Add(snd, 0)
+	// The receiver sleeps through the sender's head start.
+	recvStart := uint64(cfg.DelayedStartBits) * 240
+	s.Add(rcv, recvStart)
+
+	noiseCore := pickNoiseCore(&cfg)
+	for i, ncfg := range cfg.Noise {
+		w := noise.New(ncfg, h, noiseCore, alloc, cfg.Seed^uint64(0x9015e+i))
+		s.AddBackground(w, 0)
+	}
+	if cfg.SystemNoise {
+		os := noise.Config{Name: "os-background", Shape: noise.Rand,
+			Footprint: 4 << 20, ComputeGap: 2000}
+		s.AddBackground(noise.New(os, h, noiseCore, alloc, cfg.Seed^0x05), 0)
+	}
+
+	if _, err := s.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		PayloadBits:    len(payloadBits),
+		ChannelBits:    len(tx),
+		Cycles:         rcv.endTime - rcv.startTime,
+		SyncWaits:      snd.SyncWaits,
+		SyncTimeouts:   snd.SyncTimeouts,
+		ReceiverLevels: rcv.Levels,
+		CoreServed:     h.ServedPerCore,
+		LevelTrace:     rcv.levelTrace,
+		MaxGap:         snd.maxGap,
+		GapSamples:     snd.gaps,
+	}
+
+	// RawErrors compares at the physical channel level (transmitted bits
+	// vs decoded hits/misses), which is where the 0→1 / 1→0 direction is
+	// meaningful: 0→1 is a premature eviction, 1→0 a spurious hit. The
+	// preamble region is excluded: it exists to absorb the transient.
+	pre := cfg.PreambleBits
+	if pre < 0 {
+		pre = 0
+	}
+	res.RawErrors, err = stats.Compare(tx[pre:], rcv.rx[pre:])
+	if err != nil {
+		return nil, err
+	}
+	zoBursts, ozBursts := stats.DirectionalBursts(tx[pre:], rcv.rx[pre:])
+	res.BurstSingleFrac01 = stats.SingleBitFraction(zoBursts)
+	res.BurstSingleFrac10 = stats.SingleBitFraction(ozBursts)
+	if len(zoBursts) > 0 {
+		res.MaxBurst01 = zoBursts[0] // Bursts sorts descending
+	}
+	// Decode: demodulate, drop the preamble, then ECC-correct.
+	rxChan := rcv.rx
+	if cfg.Modulate {
+		rxChan = payload.Demodulate(rxChan, cfg.KeySeed)
+	}
+	rxChan = rxChan[pre:]
+	decoded := rxChan
+	if cfg.ECC {
+		var eccRes ecc.Result
+		decoded, eccRes, err = ecc.Decode(rxChan)
+		if err != nil {
+			return nil, err
+		}
+		res.ECCStats = eccRes
+		decoded = decoded[:len(payloadBits)]
+	}
+	res.Decoded = decoded
+	res.Errors, err = stats.Compare(payloadBits, decoded)
+	if err != nil {
+		return nil, err
+	}
+
+	secs := float64(res.Cycles) / (float64(cfg.Machine.FreqMHz) * 1e6)
+	if secs > 0 {
+		res.BitRateKBps = float64(res.PayloadBits) / 8192.0 / secs
+		res.ChannelKBps = float64(res.ChannelBits) / 8192.0 / secs
+	}
+	return res, nil
+}
+
+// pickNoiseCore returns a core distinct from sender and receiver when the
+// machine has one (the paper pins stressors to an adjacent core).
+func pickNoiseCore(cfg *Config) int {
+	for c := 0; c < cfg.Machine.Cores; c++ {
+		if c != cfg.SenderCore && c != cfg.ReceiverCore {
+			return c
+		}
+	}
+	return cfg.ReceiverCore
+}
+
+// CapacityKBps returns the Shannon-capacity bound on the information rate
+// of this run: the raw channel bit-rate discounted by the binary-symmetric-
+// channel capacity at the measured raw error rate. It is the ceiling any
+// coding scheme (ECC, ARQ, ...) layered on the channel could achieve.
+func (r *Result) CapacityKBps() float64 {
+	return r.ChannelKBps * stats.BSCCapacity(r.RawErrors.Rate())
+}

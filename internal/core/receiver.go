@@ -1,0 +1,95 @@
+package core
+
+import (
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/pattern"
+	"streamline/internal/rng"
+	"streamline/internal/syncch"
+)
+
+// receiver is the decoding agent: it walks the same address sequence behind
+// the sender, timing each load with a fenced timestamp pair and decoding a
+// sub-threshold latency as 0 (Figure 8, right column).
+type receiver struct {
+	cfg  *Config
+	h    *hier.Hierarchy
+	arr  mem.Region
+	pat  pattern.Pattern
+	rx   []byte // decoded transmitted bits
+	sync *syncch.Channel
+	camo *camo
+	x    *rng.Xoshiro
+
+	i int64
+	// syncBurst counts remaining re-signals after a sync point; the signal
+	// is repeated for a few bits so a single unlucky eviction of the sync
+	// line cannot deadlock the sender.
+	syncBurst int
+
+	// startTime and endTime bracket the receiver's run; the paper reports
+	// bit-rate over receiver start-to-end time.
+	startTime, endTime uint64
+	started            bool
+
+	// Bits exposes progress for gap sampling and the sender fail-safe.
+	Bits int64
+
+	// Levels counts decoded loads by serving level, for diagnostics.
+	Levels [4]uint64
+	// levelTrace, when non-nil, records each bit's serving level.
+	levelTrace []byte
+}
+
+// Name implements sched.Agent.
+func (r *receiver) Name() string { return "streamline-receiver" }
+
+func (r *receiver) addrOf(i int64) mem.Addr {
+	return r.arr.Base + mem.Addr(r.pat.Offset(uint64(i), r.arr.Size))
+}
+
+// Step implements sched.Agent: receive one bit.
+func (r *receiver) Step(now uint64) (uint64, bool) {
+	if !r.started {
+		r.started = true
+		r.startTime = now
+	}
+	m := r.h.Machine()
+	// t = rdtscp; load; T = rdtscp - t
+	cost := uint64(2*m.Lat.TimerOverhead + m.Lat.LoopOverhead)
+	res := r.h.Access(r.cfg.ReceiverCore, r.addrOf(r.i), now+cost)
+	r.Levels[res.Level]++
+	if r.levelTrace != nil {
+		r.levelTrace[r.i] = byte(res.Level)
+	}
+	cost += uint64(res.Latency)
+	if res.Latency <= r.cfg.threshold() {
+		r.rx[r.i] = 0
+	} else {
+		r.rx[r.i] = 1
+	}
+
+	// Coarse-grained synchronization: signal the sender SyncLead bits
+	// before each epoch boundary, then repeat the signal for a few bits.
+	if p := int64(r.cfg.SyncPeriod); p > 0 && r.i%p == p-int64(r.cfg.SyncLead) {
+		r.syncBurst = 64
+	}
+	if r.syncBurst > 0 {
+		r.syncBurst--
+		cost += r.sync.Signal(r.cfg.ReceiverCore, now+cost)
+	}
+	if r.camo != nil {
+		cost += r.camo.step(now + cost)
+	}
+	if r.cfg.OSJitter && r.x.Intn(jitterEvery) == 0 {
+		cost += jitterCost
+	}
+
+	r.i++
+	r.Bits = r.i
+	if r.i >= int64(len(r.rx)) {
+		r.endTime = now + cost
+		return cost, true
+	}
+	return cost, false
+}

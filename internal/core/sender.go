@@ -1,0 +1,188 @@
+package core
+
+import (
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/pattern"
+	"streamline/internal/rng"
+	"streamline/internal/syncch"
+)
+
+// jitterEvery and jitterCost model sporadic OS preemption: roughly one
+// ~10 µs interruption per 50k operations on both processes.
+const (
+	jitterEvery = 50000
+	jitterCost  = 40000
+)
+
+// sender is the transmitting agent: for each transmitted bit it loads the
+// bit's cache line if the bit is 0 and skips it otherwise, issues the
+// trailing replacement-fooling access, and optionally throttles itself with
+// an rdtscp (Figure 8, left column).
+type sender struct {
+	cfg   *Config
+	h     *hier.Hierarchy
+	arr   mem.Region
+	pat   pattern.Pattern
+	tx    []byte // transmitted bits (post-modulation)
+	sync  *syncch.Channel
+	x     *rng.Xoshiro
+	recvI *int64 // receiver progress, for the sync fail-safe only
+
+	camo         *camo
+	i            int64
+	waiting      bool
+	waitStart    uint64
+	SyncWaits    uint64
+	SyncTimeouts uint64
+	// Bits counts transmitted bits so far (exported progress for gap
+	// sampling).
+	Bits int64
+
+	// Gap tracking (Figure 7): the sender-receiver gap is sampled every
+	// gapEvery transmitted bits, and its maximum is always tracked.
+	gapEvery int64
+	maxGap   int64
+	gaps     []GapSample
+}
+
+// observeGap updates gap statistics after each transmitted bit.
+func (s *sender) observeGap() {
+	gap := s.i - *s.recvI
+	if gap > s.maxGap {
+		s.maxGap = gap
+	}
+	if s.gapEvery > 0 && s.i%s.gapEvery == 0 {
+		s.gaps = append(s.gaps, GapSample{Bits: s.i, Gap: gap})
+	}
+}
+
+// Name implements sched.Agent.
+func (s *sender) Name() string { return "streamline-sender" }
+
+// addrOf returns the shared-array address of bit i.
+func (s *sender) addrOf(i int64) mem.Addr {
+	return s.arr.Base + mem.Addr(s.pat.Offset(uint64(i), s.arr.Size))
+}
+
+// Step implements sched.Agent: one transmitted bit, or one sync poll while
+// waiting at an epoch boundary.
+func (s *sender) Step(now uint64) (uint64, bool) {
+	if s.waiting {
+		return s.pollSync(now)
+	}
+	if s.i >= int64(len(s.tx)) {
+		return 0, true
+	}
+	if c := int64(s.cfg.GapClamp); c > 0 && s.i-*s.recvI >= c {
+		return 500, false // experimental gap clamp: idle briefly
+	}
+	m := s.h.Machine()
+	var cost uint64
+	if s.cfg.RateLimitSender {
+		cost += uint64(m.Lat.TimerOverhead)
+	}
+	// Three loop bodies' worth of bookkeeping: the transmit branch and
+	// the trailing-access branch each compute an array index, and the
+	// epoch/synchronization check runs every bit (Figure 8).
+	cost += uint64(3 * m.Lat.LoopOverhead)
+
+	// Transmit: load the line for a 0, skip for a 1.
+	if s.tx[s.i] == 0 {
+		r := s.h.Access(s.cfg.SenderCore, s.addrOf(s.i), now+cost)
+		cost += s.loadCost(r)
+	}
+	// Trailing access: refresh the replacement age of the line installed
+	// TrailingLag bits ago (only lines actually installed, i.e. 0-bits).
+	if lag := int64(s.cfg.TrailingLag); lag > 0 && s.i >= lag && s.tx[s.i-lag] == 0 {
+		r := s.h.Access(s.cfg.SenderCore, s.addrOf(s.i-lag), now+cost)
+		cost += s.loadCost(r)
+	}
+	if s.camo != nil {
+		cost += s.camo.step(now + cost)
+	}
+	if s.cfg.OSJitter && s.x.Intn(jitterEvery) == 0 {
+		cost += jitterCost
+	}
+
+	s.i++
+	s.Bits = s.i
+	s.observeGap()
+	if p := int64(s.cfg.SyncPeriod); p > 0 && s.i%p == 0 && s.i < int64(len(s.tx)) {
+		s.waiting = true
+		s.waitStart = now + cost
+		s.SyncWaits++
+	}
+	return cost, s.i >= int64(len(s.tx))
+}
+
+// loadCost converts an access latency into the cycles the sender's loop is
+// exposed to. A rate-limited sender is serialized by its rdtscp, so the
+// full latency shows; an unthrottled sender overlaps loads across bits and
+// exposes only 1/MLP of each.
+func (s *sender) loadCost(r hier.AccessResult) uint64 {
+	if s.cfg.RateLimitSender {
+		return uint64(r.Latency)
+	}
+	return uint64(r.Latency) / uint64(s.h.Machine().MLP)
+}
+
+// pollSync polls the Flush+Reload synchronization channel until the
+// receiver permits the sender to resume. As a fail-safe (e.g. the signal
+// line evicted by extreme noise, or an ablation where the receiver has
+// already passed the epoch), the sender resumes on its own after ~5 ms.
+func (s *sender) pollSync(now uint64) (uint64, bool) {
+	const timeout = 20_000_000 // cycles
+	ok, cost := s.sync.Poll(s.cfg.SenderCore, now)
+	if ok {
+		s.waiting = false
+		return cost, false
+	}
+	// Fail-safes: the receiver already passed the sync point, or timeout.
+	if *s.recvI >= s.i-int64(s.cfg.SyncLead) {
+		s.waiting = false
+		return cost, false
+	}
+	if now+cost-s.waitStart > timeout {
+		s.SyncTimeouts++
+		s.waiting = false
+	}
+	return cost, false
+}
+
+// camo is the adaptive-camouflage walker (Section 7): a private buffer,
+// small enough to stay LLC-resident under its own re-use but bigger than
+// the L2, walked a fixed number of lines per bit. Its accesses are LLC
+// hits in steady state, diluting the agent's miss ratio.
+type camo struct {
+	h      *hier.Hierarchy
+	core   int
+	reg    mem.Region
+	per    int
+	pos    int
+	stride int
+}
+
+// newCamo builds a walker doing per accesses per bit over reg.
+func newCamo(h *hier.Hierarchy, core int, reg mem.Region, per int) *camo {
+	// A stride of three lines keeps the walk prefetcher-shaped like the
+	// channel itself (no point camouflaging counters while lighting up
+	// the prefetcher).
+	return &camo{h: h, core: core, reg: reg, per: per, stride: 3 * h.Geometry().LineBytes}
+}
+
+// step performs the per-bit camouflage accesses at time now and returns
+// their exposed cost.
+func (c *camo) step(now uint64) uint64 {
+	var cost uint64
+	mlp := uint64(c.h.Machine().MLP)
+	for i := 0; i < c.per; i++ {
+		r := c.h.Access(c.core, c.reg.AddrAt(c.pos), now+cost)
+		cost += uint64(r.Latency)/mlp + 2
+		c.pos += c.stride
+		if c.pos >= c.reg.Size {
+			c.pos = (c.pos + c.h.Geometry().LineBytes) % c.stride // rotate phase
+		}
+	}
+	return cost
+}

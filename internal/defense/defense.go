@@ -1,0 +1,88 @@
+// Package defense implements the mitigation strategies discussed in the
+// paper's Section 7 so they can be evaluated against Streamline:
+//
+//   - detection: a performance-counter profiler in the style of HexPADS /
+//     CloudRadar that flags processes with sustained high LLC pressure.
+//     The paper predicts it cannot single out Streamline, whose counter
+//     profile matches any streaming application;
+//   - noise injection: random-fill caching (hier.Options.RandomFillProb)
+//     and random replacement (cache.NewRandom), which degrade but do not
+//     break the channel;
+//   - isolation: DAWG-style way partitioning between trust domains
+//     (hier.Options.PartitionWays), which removes cross-domain hits and
+//     kills every shared-memory cache channel.
+//
+// The detector lives here; the other two are hierarchy/policy options that
+// the experiments exercise directly.
+package defense
+
+import (
+	"fmt"
+
+	"streamline/internal/hier"
+)
+
+// Verdict is the detector's judgement of one core's activity.
+type Verdict struct {
+	Core int
+	// AccessesPerKCycle is the core's demand-access rate.
+	AccessesPerKCycle float64
+	// LLCMissRate is DRAM accesses / (LLC + DRAM accesses): the fraction
+	// of LLC lookups that missed.
+	LLCMissRate float64
+	// Flagged reports whether the profile exceeded both thresholds.
+	Flagged bool
+}
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	flag := " "
+	if v.Flagged {
+		flag = "FLAGGED"
+	}
+	return fmt.Sprintf("core %d: %.1f acc/kcycle, %.0f%% LLC miss %s",
+		v.Core, v.AccessesPerKCycle, v.LLCMissRate*100, flag)
+}
+
+// Detector is a hardware-performance-counter profiler: it reads each
+// core's access and miss counters over an observation window and flags
+// cores whose cache pressure exceeds both thresholds. The defaults flag
+// anything sustaining more than one demand access per 150 cycles with an
+// LLC miss rate above 25% — aggressive enough to catch cache attacks, and
+// (the point of Section 7) every memory-streaming application too.
+type Detector struct {
+	MinAccessesPerKCycle float64
+	MinLLCMissRate       float64
+}
+
+// NewDetector returns a detector with the default thresholds.
+func NewDetector() Detector {
+	return Detector{MinAccessesPerKCycle: 3.0, MinLLCMissRate: 0.25}
+}
+
+// Inspect profiles per-core counters (hier.Hierarchy.ServedPerCore or
+// core.Result.CoreServed) gathered over a run of the given length.
+func (d Detector) Inspect(perCore [][4]uint64, cycles uint64) []Verdict {
+	if cycles == 0 {
+		cycles = 1
+	}
+	verdicts := make([]Verdict, len(perCore))
+	for core, served := range perCore {
+		var total uint64
+		for _, v := range served {
+			total += v
+		}
+		llcLookups := served[hier.LLC] + served[hier.DRAM]
+		v := Verdict{
+			Core:              core,
+			AccessesPerKCycle: float64(total) / float64(cycles) * 1000,
+		}
+		if llcLookups > 0 {
+			v.LLCMissRate = float64(served[hier.DRAM]) / float64(llcLookups)
+		}
+		v.Flagged = v.AccessesPerKCycle >= d.MinAccessesPerKCycle &&
+			v.LLCMissRate >= d.MinLLCMissRate
+		verdicts[core] = v
+	}
+	return verdicts
+}

@@ -1,0 +1,71 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+
+	"streamline/internal/hier"
+)
+
+func TestInspectEmptyAndZeroCycles(t *testing.T) {
+	d := NewDetector()
+	if v := d.Inspect(nil, 0); len(v) != 0 {
+		t.Fatalf("verdicts for no cores: %v", v)
+	}
+	v := d.Inspect([][4]uint64{{0, 0, 0, 0}}, 0)
+	if v[0].Flagged {
+		t.Fatal("idle core flagged")
+	}
+}
+
+func TestInspectFlagsHotMissingCore(t *testing.T) {
+	d := NewDetector()
+	// 10M cycles; core 0: heavy and missing, core 1: heavy but hitting,
+	// core 2: light.
+	counters := [][4]uint64{
+		{0, 0, 40000, 60000}, // 10 acc/kcycle, 60% miss
+		{90000, 0, 10000, 0}, // 10 acc/kcycle, 0% miss
+		{0, 0, 100, 100},     // 0.02 acc/kcycle
+	}
+	v := d.Inspect(counters, 10_000_000)
+	if !v[0].Flagged {
+		t.Error("hot missing core not flagged")
+	}
+	if v[1].Flagged {
+		t.Error("hot but cache-friendly core flagged")
+	}
+	if v[2].Flagged {
+		t.Error("idle core flagged")
+	}
+}
+
+func TestInspectRates(t *testing.T) {
+	d := NewDetector()
+	counters := [][4]uint64{{0, 0, 5000, 5000}}
+	v := d.Inspect(counters, 1_000_000)
+	if v[0].AccessesPerKCycle != 10 {
+		t.Fatalf("access rate = %v", v[0].AccessesPerKCycle)
+	}
+	if v[0].LLCMissRate != 0.5 {
+		t.Fatalf("miss rate = %v", v[0].LLCMissRate)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{Core: 2, AccessesPerKCycle: 4.2, LLCMissRate: 0.5, Flagged: true}
+	s := v.String()
+	if !strings.Contains(s, "FLAGGED") || !strings.Contains(s, "core 2") {
+		t.Fatalf("verdict string %q", s)
+	}
+	v.Flagged = false
+	if strings.Contains(v.String(), "FLAGGED") {
+		t.Fatal("unflagged verdict prints FLAGGED")
+	}
+}
+
+func TestLevelsUsedMatchHier(t *testing.T) {
+	// Guard against enum reordering: the detector indexes hier's levels.
+	if hier.LLC != 2 || hier.DRAM != 3 {
+		t.Fatal("hier level constants moved; update the detector")
+	}
+}

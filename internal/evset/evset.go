@@ -1,0 +1,185 @@
+// Package evset constructs minimal eviction sets from timing alone, in the
+// style of Vila, Köpf and Morales ("Theory and Practice of Finding Eviction
+// Sets", S&P 2019).
+//
+// Conflict-based attacks (Prime+Probe, and this repository's asynchronous
+// variant) need, for a target address, a set of attacker-controlled
+// addresses that map to the same cache set. With huge pages the set index
+// is visible in the virtual address and the sets can be computed; without
+// them the attacker must *find* eviction sets by measurement. This package
+// implements that bootstrap against the simulated hierarchy:
+//
+//  1. a conflict test: does accessing a candidate group evict the target?
+//  2. group-testing reduction: shrink a large conflicting pool to a
+//     minimal eviction set of `ways` addresses in O(ways·n) accesses.
+//
+// Everything runs through hier.Access timing only — the algorithms get no
+// side-channel-free access to the simulator's internals.
+package evset
+
+import (
+	"fmt"
+
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/rng"
+)
+
+// Finder runs eviction-set construction against a hierarchy from one core.
+type Finder struct {
+	h    *hier.Hierarchy
+	core int
+	x    *rng.Xoshiro
+	now  uint64
+
+	// Retries is how many times a noisy conflict test is repeated; the
+	// majority wins (default 3).
+	Retries int
+
+	// Accesses counts the memory operations spent (the cost metric the
+	// literature reports).
+	Accesses uint64
+}
+
+// NewFinder returns a Finder measuring from the given core.
+func NewFinder(h *hier.Hierarchy, core int, seed uint64) *Finder {
+	return &Finder{h: h, core: core, x: rng.New(seed), Retries: 3}
+}
+
+// access performs one timed load, advancing the finder's local clock.
+func (f *Finder) access(a mem.Addr) int {
+	r := f.h.Access(f.core, a, f.now)
+	f.Accesses++
+	f.now += uint64(r.Latency) + 30
+	return r.Latency
+}
+
+// evicts reports whether accessing every address in group (twice, to defeat
+// replacement-policy insertion ages) evicts target from the caches.
+func (f *Finder) evicts(target mem.Addr, group []mem.Addr) bool {
+	hits := 0
+	for try := 0; try < f.Retries; try++ {
+		// Bring the target in.
+		f.access(target)
+		f.access(target) // promote: a single-use line is evicted too easily
+		// Walk the candidate group twice: the second pass ages the
+		// target past the group lines' insertion ages.
+		for pass := 0; pass < 2; pass++ {
+			for _, a := range group {
+				f.access(a)
+			}
+		}
+		// Time the target: slow = evicted.
+		lat := f.access(target)
+		if lat <= f.h.Machine().Lat.Threshold {
+			hits++
+		}
+		// Drain: leave the target out of the private caches so the next
+		// trial starts clean.
+		f.h.InvalidatePrivate(f.core, target)
+	}
+	return hits*2 < f.Retries // majority of trials saw a miss
+}
+
+// Find reduces pool to a minimal eviction set for target, or returns an
+// error if the pool does not conflict with the target at all. The pool
+// should be ≥ 2x the associativity of the targeted cache level and is not
+// required to be set-aligned: non-conflicting members are discarded.
+func (f *Finder) Find(target mem.Addr, pool []mem.Addr) ([]mem.Addr, error) {
+	ways := f.h.Machine().LLC.Ways
+	group := append([]mem.Addr(nil), pool...)
+	if !f.evicts(target, group) {
+		return nil, fmt.Errorf("evset: pool of %d does not evict the target", len(pool))
+	}
+	// Group-testing reduction (Vila et al.): split into ways+1 chunks;
+	// at least one chunk is redundant and can be dropped while the rest
+	// still evicts. Repeat until `ways` addresses remain.
+	for len(group) > ways {
+		chunks := ways + 1
+		size := (len(group) + chunks - 1) / chunks
+		dropped := false
+		for c := 0; c < chunks && len(group) > ways; c++ {
+			lo := c * size
+			if lo >= len(group) {
+				break
+			}
+			hi := lo + size
+			if hi > len(group) {
+				hi = len(group)
+			}
+			candidate := make([]mem.Addr, 0, len(group)-(hi-lo))
+			candidate = append(candidate, group[:lo]...)
+			candidate = append(candidate, group[hi:]...)
+			if f.evicts(target, candidate) {
+				group = candidate
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			// No chunk is individually removable at this granularity;
+			// fall back to dropping one address at a time.
+			before := len(group)
+			for i := 0; i < len(group) && len(group) > ways; i++ {
+				candidate := make([]mem.Addr, 0, len(group)-1)
+				candidate = append(candidate, group[:i]...)
+				candidate = append(candidate, group[i+1:]...)
+				if f.evicts(target, candidate) {
+					group = candidate
+					i--
+				}
+			}
+			if len(group) == before {
+				return nil, fmt.Errorf("evset: stuck at %d addresses (> %d ways)", len(group), ways)
+			}
+		}
+	}
+	return group, nil
+}
+
+// RandomPool returns n page-aligned-line candidates spread over a region —
+// the attacker's raw material (a large private buffer).
+func (f *Finder) RandomPool(reg mem.Region, n int) []mem.Addr {
+	lineBytes := f.h.Geometry().LineBytes
+	lines := reg.Size / lineBytes
+	pool := make([]mem.Addr, 0, n)
+	seen := make(map[int]bool, n)
+	for len(pool) < n {
+		l := f.x.Intn(lines)
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		pool = append(pool, reg.AddrAt(l*lineBytes))
+	}
+	return pool
+}
+
+// SameSetPool returns candidates that share the target's set index under
+// the huge-page assumption (set bits visible in the address): the fast
+// path real attackers use when THP is available, and a convenient way to
+// build compact pools in tests.
+func (f *Finder) SameSetPool(target mem.Addr, reg mem.Region, n int) []mem.Addr {
+	m := f.h.Machine()
+	setStride := m.LLC.Sets() * m.LLC.LineBytes
+	lineBytes := m.LLC.LineBytes
+	// First in-region offset whose address is congruent to the target
+	// modulo the set stride (line-aligned), accounting for the region's
+	// own base alignment.
+	wantResidue := int(uint64(target)) % setStride / lineBytes * lineBytes
+	baseResidue := int(uint64(reg.Base)) % setStride
+	off0 := (wantResidue - baseResidue + setStride) % setStride
+	pool := make([]mem.Addr, 0, n)
+	for k := 0; len(pool) < n; k++ {
+		off := k*setStride + off0
+		if off >= reg.Size {
+			break
+		}
+		a := reg.AddrAt(off)
+		if uint64(a)>>6 == uint64(target)>>6 {
+			continue
+		}
+		pool = append(pool, a)
+	}
+	return pool
+}

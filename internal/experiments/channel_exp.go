@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamline/internal/core"
+	"streamline/internal/pattern"
+	"streamline/internal/payload"
+	"streamline/internal/stats"
+)
+
+// Fig6 regenerates Figure 6: bit-error-rate versus a controlled
+// sender-receiver gap for three address sequences — the naive
+// one-line-per-page pattern, the high-set-coverage pattern without
+// trailing accesses, and the full pattern with trailing accesses
+// (covering LLC sets and ways).
+func Fig6(o Opts) (*Table, error) {
+	bits := 200000
+	if o.Full {
+		bits = 1000000
+	}
+	gaps := []int{500, 1000, 2000, 4000, 8000, 16000, 32000, 40000, 64000, 100000}
+	if o.Quick {
+		gaps = []int{1000, 4000, 16000, 40000}
+	}
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Error-rate vs sender-receiver gap for three access sequences",
+		Header: []string{"gap (bits)", "naive per-page", "sets only (no trailing)", "sets+ways (trailing)"},
+		Notes: []string{
+			"paper: naive degrades beyond ~1k, set-coverage beyond ~4k, sets+ways low till ~40k",
+		},
+	}
+	base := func(gap int) core.Config {
+		cfg := core.DefaultConfig()
+		cfg.SyncPeriod = 0
+		cfg.GapClamp = gap
+		cfg.WarmupBytes = 0 // isolate the replacement effect
+		return cfg
+	}
+	for _, gap := range gaps {
+		row := []string{fmt.Sprintf("%d", gap)}
+		for _, variant := range []int{0, 1, 2} {
+			_, errPct, _, _, err := channelPoint(o, func(int) core.Config {
+				cfg := base(gap)
+				switch variant {
+				case 0:
+					cfg.Pattern = pattern.NewNaivePerPage(patternGeom())
+					cfg.TrailingLag = 0
+				case 1:
+					cfg.TrailingLag = 0
+				}
+				return cfg
+			}, bits)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", errPct.Mean))
+		}
+		t.Rows = append(t.Rows, row)
+		o.progress("fig6: gap=%d done", gap)
+	}
+	return t, nil
+}
+
+// Fig7 regenerates Figure 7: the sender-receiver gap versus bits
+// transmitted for (a) the tailored pattern alone, (b) plus the sender's
+// rate-limiting rdtscp, and (c) plus coarse synchronization every 200000
+// bits.
+func Fig7(o Opts) (*Table, error) {
+	bits := 1000000
+	if o.Quick {
+		bits = 400000
+	}
+	every := bits / 10
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Sender-receiver gap vs bits transmitted",
+		Header: []string{"bits", "no rate-limit", "rate-limited", "rate-limited + sync-200k"},
+		Notes: []string{
+			"paper: unlimited crosses the 40k threshold within ~100k bits; rate-limited within ~400k; sync keeps it bounded",
+		},
+	}
+	configs := []core.Config{}
+	for _, mode := range []int{0, 1, 2} {
+		cfg := core.DefaultConfig()
+		cfg.GapSampleEvery = every
+		cfg.SyncPeriod = 0
+		cfg.RateLimitSender = mode >= 1
+		if mode == 2 {
+			cfg.SyncPeriod = 200000
+		}
+		configs = append(configs, cfg)
+	}
+	var traces [3][]core.GapSample
+	for i, cfg := range configs {
+		cfg.Seed = o.Seed
+		res, err := core.Run(cfg, payload.Random(o.Seed^0xf16, bits))
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = res.GapSamples
+		o.progress("fig7: config %d done (maxGap=%d)", i, res.MaxGap)
+	}
+	for s := 0; s < 10; s++ {
+		row := []string{fmt.Sprintf("%d", (s+1)*every)}
+		for i := 0; i < 3; i++ {
+			if s < len(traces[i]) {
+				row = append(row, fmt.Sprintf("%d", traces[i][s].Gap))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9 regenerates Figure 9: bit-rate and bit-error-rate versus payload
+// size, averaged with 95% confidence intervals.
+func Fig9(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Bit-rate and bit-error-rate vs payload size",
+		Header: []string{"payload (bits)", "bit-rate", "bit-error-rate"},
+		Notes: []string{
+			"paper: steady state 1801 KB/s (±3) at 0.37% (±0.04%); ~2% at 200k bits due to the startup transient",
+		},
+	}
+	for _, n := range o.payloadSizes() {
+		rate, errPct, _, _, err := channelPoint(o, func(int) core.Config {
+			return core.DefaultConfig()
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), kbps(rate), pct(errPct),
+		})
+		o.progress("fig9: n=%d done (%.0f KB/s, %.2f%%)", n, rate.Mean, errPct.Mean)
+	}
+	return t, nil
+}
+
+// Table2 regenerates Table 2: the breakdown of error rates by direction
+// (1→0 vs 0→1, measured at the physical channel level) for different
+// payload sizes.
+func Table2(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Breakdown of error rates by direction and payload size",
+		Header: []string{"payload (bits)", "total", "1->0 errors", "0->1 errors", "1->0 single-bit", "0->1 single-bit"},
+		Notes: []string{
+			"paper: 1->0 dominates small payloads (startup transient) and decays; 0->1 stays ~0.27%",
+			"paper (4.3): 1->0 errors are isolated single-bit events; 0->1 errors arrive in bursts",
+		},
+	}
+	for _, n := range o.payloadSizes() {
+		_, errPct, zo, oz, err := channelPoint(o, func(int) core.Config {
+			return core.DefaultConfig()
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		// One instrumented run for the burst structure.
+		cfg := core.DefaultConfig()
+		cfg.Seed = o.Seed
+		res, err := core.Run(cfg, payload.Random(o.Seed^0xb257, n))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n), pct(errPct), pct(oz), pct(zo),
+			fmt.Sprintf("%.0f%%", res.BurstSingleFrac10*100),
+			fmt.Sprintf("%.0f%% (max %d)", res.BurstSingleFrac01*100, res.MaxBurst01),
+		})
+		o.progress("table2: n=%d done", n)
+	}
+	return t, nil
+}
+
+// Table3 regenerates Table 3: the channel with and without the (72,64)
+// Hamming code.
+func Table3(o Opts) (*Table, error) {
+	n := o.steadyPayload()
+	t := &Table{
+		ID:     "table3",
+		Title:  "Streamline with and without (72,64) Hamming error correction",
+		Header: []string{"configuration", "bit-rate", "bit-error-rate"},
+		Notes: []string{
+			"paper: 1801 KB/s @ 0.37% without ECC; 1598 KB/s @ 0.12% with",
+		},
+	}
+	for _, ecc := range []bool{false, true} {
+		rate, errPct, _, _, err := channelPoint(o, func(int) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.ECC = ecc
+			return cfg
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		name := "without error-correction"
+		if ecc {
+			name = "with (72,64) Hamming code"
+		}
+		t.Rows = append(t.Rows, []string{name, kbps(rate), pct(errPct)})
+		o.progress("table3: ecc=%v done", ecc)
+	}
+	return t, nil
+}
+
+// Table4 regenerates Table 4: sensitivity to the shared array size.
+func Table4(o Opts) (*Table, error) {
+	n := o.steadyPayload()
+	t := &Table{
+		ID:     "table4",
+		Title:  "Bit-error-rate vs shared array size",
+		Header: []string{"array size", "bit-error-rate"},
+		Notes: []string{
+			"paper: 0.35% at 64MB, 0.33% at 32MB, 3.2% at 16MB, 27.5% at 8MB (thrashing breaks down below 3x LLC)",
+		},
+	}
+	for _, mb := range []int{64, 32, 16, 8} {
+		_, errPct, _, _, err := channelPoint(o, func(int) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.ArraySize = mb << 20
+			return cfg
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d MB", mb), pct(errPct)})
+		o.progress("table4: %dMB done", mb)
+	}
+	return t, nil
+}
+
+// Table5 regenerates Table 5: sensitivity to the coarse synchronization
+// period.
+func Table5(o Opts) (*Table, error) {
+	n := o.steadyPayload()
+	t := &Table{
+		ID:     "table5",
+		Title:  "Bit-rate and bit-error-rate vs synchronization period",
+		Header: []string{"sync period (bits)", "bit-rate", "bit-error-rate", "max gap"},
+		Notes: []string{
+			"paper: errors rise at 500k (gap exceeds tolerance); rate stays >1780 KB/s throughout",
+		},
+	}
+	for _, p := range []int{500000, 200000, 100000, 50000, 25000} {
+		var gaps []float64
+		rate, errPct, _, _, err := channelPoint(o, func(int) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.SyncPeriod = p
+			if cfg.SyncLead >= p {
+				cfg.SyncLead = p / 5
+			}
+			return cfg
+		}, n)
+		if err != nil {
+			return nil, err
+		}
+		// One extra instrumented run for the max gap.
+		cfg := core.DefaultConfig()
+		cfg.SyncPeriod = p
+		if cfg.SyncLead >= p {
+			cfg.SyncLead = p / 5
+		}
+		cfg.Seed = o.Seed
+		res, err := core.Run(cfg, payload.Random(o.Seed, n))
+		if err != nil {
+			return nil, err
+		}
+		gaps = append(gaps, float64(res.MaxGap))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p), kbps(rate), pct(errPct),
+			fmt.Sprintf("%.0f", stats.Summarize(gaps).Mean),
+		})
+		o.progress("table5: period=%d done", p)
+	}
+	return t, nil
+}

@@ -1,0 +1,218 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4 and 5) on the simulator: Table 1 (prefetcher
+// fooling), Figures 6/7 (gap tolerance and gap growth), Figure 9 and
+// Table 2 (bit-rate/error vs payload), Table 3 (ECC), Table 4 (array
+// size), Table 5 (sync period), Figure 10 (noise), Figure 11 and Table 6
+// (comparison with prior attacks), plus the ablations DESIGN.md calls out.
+//
+// Each experiment returns a Table that cmd/sweep renders as text and the
+// root benchmarks consume for metrics. Experiments accept an Opts that
+// scales payload sizes: the defaults regenerate every artifact in minutes;
+// Full uses the paper's own payload sizes (up to 10^9 bits) and takes
+// hours, exactly like the original artifact's 3-4 hour budget.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"streamline/internal/core"
+	"streamline/internal/payload"
+	"streamline/internal/stats"
+)
+
+// Opts controls experiment scale and reporting.
+type Opts struct {
+	// Seed is the base seed; repetition r of an experiment uses Seed+r.
+	Seed uint64
+	// Runs is the number of repetitions feeding each 95% CI (paper: 5).
+	// 0 selects 3.
+	Runs int
+	// Full selects the paper's own payload sizes (up to 10^9 bits).
+	Full bool
+	// Quick shrinks payloads aggressively for smoke tests and benchmarks.
+	Quick bool
+	// Progress, when non-nil, receives one line per completed data point.
+	Progress io.Writer
+}
+
+func (o Opts) runs() int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	if o.Quick {
+		return 1
+	}
+	return 3
+}
+
+func (o Opts) progress(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// payloadSizes returns the payload ladder for Figure 9 / Table 2.
+func (o Opts) payloadSizes() []int {
+	if o.Quick {
+		return []int{200000, 1000000}
+	}
+	if o.Full {
+		return []int{200000, 1000000, 10000000, 100000000, 1000000000}
+	}
+	return []int{200000, 1000000, 5000000, 10000000}
+}
+
+// steadyPayload is the payload used by single-point experiments
+// (Tables 3-5, Figure 10). The paper uses 10^8-10^9; the default trades
+// one decimal of CI width for a 50x speedup.
+func (o Opts) steadyPayload() int {
+	if o.Quick {
+		return 400000
+	}
+	if o.Full {
+		return 100000000
+	}
+	return 2000000
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatCSV renders the table as RFC-4180-ish CSV (quotes only when a cell
+// contains a comma or quote), for downstream plotting.
+func (t *Table) FormatCSV(w io.Writer) {
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"") {
+				fmt.Fprintf(w, "%q", c)
+			} else {
+				fmt.Fprint(w, c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+}
+
+// Runner produces one experiment table.
+type Runner func(Opts) (*Table, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"table1":               Table1,
+	"fig6":                 Fig6,
+	"fig7":                 Fig7,
+	"fig9":                 Fig9,
+	"table2":               Table2,
+	"table3":               Table3,
+	"table4":               Table4,
+	"table5":               Table5,
+	"fig10":                Fig10,
+	"fig11":                Fig11,
+	"table6":               Table6,
+	"ablation-encoding":    AblationEncoding,
+	"ablation-trailing":    AblationTrailing,
+	"ablation-ratelimit":   AblationRateLimit,
+	"ablation-replacement": AblationReplacement,
+	"ablation-prefetcher":  AblationPrefetcher,
+	"universality":         Universality,
+	"smt":                  SMT,
+	"mitigations":          Mitigations,
+	"asyncpp":              AsyncPP,
+	"ablation-hugepages":   AblationHugePages,
+}
+
+// IDs returns all experiment ids in stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Opts) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return r(o)
+}
+
+// channelPoint runs the channel o.runs() times with varied seeds and
+// returns summaries of (payload bit-rate KB/s, payload error %, raw 0→1 %,
+// raw 1→0 %).
+func channelPoint(o Opts, mk func(run int) core.Config, bits int) (rate, errPct, zo, oz stats.Summary, err error) {
+	var rates, errs, zos, ozs []float64
+	for r := 0; r < o.runs(); r++ {
+		cfg := mk(r)
+		cfg.Seed = o.Seed + uint64(r)*7919
+		res, e := core.Run(cfg, payload.Random(cfg.Seed^0xbead, bits))
+		if e != nil {
+			err = e
+			return
+		}
+		rates = append(rates, res.BitRateKBps)
+		errs = append(errs, res.Errors.Rate()*100)
+		zos = append(zos, res.RawErrors.RateZeroToOne()*100)
+		ozs = append(ozs, res.RawErrors.RateOneToZero()*100)
+	}
+	return stats.Summarize(rates), stats.Summarize(errs), stats.Summarize(zos), stats.Summarize(ozs), nil
+}
+
+func pct(s stats.Summary) string {
+	return fmt.Sprintf("%.2f%% (± %.2f%%)", s.Mean, s.Margin)
+}
+
+func kbps(s stats.Summary) string {
+	return fmt.Sprintf("%.0f KB/s (± %.0f)", s.Mean, s.Margin)
+}

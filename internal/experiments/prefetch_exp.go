@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/params"
+	"streamline/internal/pattern"
+	"streamline/internal/stats"
+)
+
+// Table1 regenerates the paper's Table 1: the LLC miss-rate of N=1000
+// accesses following the (x, y) strided pattern — every x-th cache line in
+// a page, lines from y pages accessed before the next line of the same
+// page — repeated five times. A high miss-rate means the pattern fools the
+// hardware prefetchers.
+func Table1(o Opts) (*Table, error) {
+	const n = 1000
+	reps := 5
+	if o.Quick {
+		reps = 2
+	}
+	t := &Table{
+		ID:     "table1",
+		Title:  "LLC miss-rate for the (x,y) access pattern (higher = fools prefetcher better)",
+		Header: []string{"x\\y", "1", "2", "3", "4", "5"},
+		Notes: []string{
+			"paper: y=1 column 1.8-17.3%, x=1 row 1.8-3.7%, x=2 row ~7%, x>=3 & y>=2 >= 88%",
+		},
+	}
+	for x := 1; x <= 5; x++ {
+		row := []string{fmt.Sprintf("%d", x)}
+		for y := 1; y <= 5; y++ {
+			var samples []float64
+			for r := 0; r < reps; r++ {
+				mr, err := missRateXY(o.Seed+uint64(r), x, y, n)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, mr*100)
+			}
+			s := stats.Summarize(samples)
+			row = append(row, fmt.Sprintf("%.1f%%", s.Mean))
+		}
+		t.Rows = append(t.Rows, row)
+		o.progress("table1: x=%d done", x)
+	}
+	return t, nil
+}
+
+// missRateXY measures the fraction of n demand accesses served by DRAM for
+// the XY pattern on a fresh hierarchy.
+func missRateXY(seed uint64, x, y, n int) (float64, error) {
+	m := params.SkylakeE3()
+	h, err := hier.New(m, hier.Options{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	alloc := mem.NewAllocator(m.PageSize)
+	// Enough pages that the pattern never wraps within n accesses.
+	reg := alloc.Alloc(16 << 20)
+	pat := pattern.NewXY(h.Geometry(), x, y, 0)
+	now := uint64(0)
+	misses := 0
+	for i := 0; i < n; i++ {
+		r := h.Access(0, reg.AddrAt(pat.Offset(uint64(i), reg.Size)), now)
+		if r.Level == hier.DRAM {
+			misses++
+		}
+		now += uint64(r.Latency) + 60
+	}
+	return float64(misses) / float64(n), nil
+}

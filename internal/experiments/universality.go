@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"streamline/internal/attacks"
+	"streamline/internal/core"
+	"streamline/internal/params"
+	"streamline/internal/payload"
+)
+
+// ARMStreamlineConfig returns Streamline tuned for the ARM Cortex-A72
+// platform: the 2 MB last-level cache buffers far fewer in-flight bits
+// than Skylake's 8 MB, so the shared array, trailing lag, and
+// synchronization period all shrink proportionally.
+func ARMStreamlineConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Machine = params.ARMCortexA72()
+	cfg.ArraySize = 16 << 20 // 8x the 2 MB LLC
+	cfg.TrailingLag = 1500   // past the small private caches, before LLC eviction
+	cfg.SyncPeriod = 25000
+	cfg.SyncLead = 2000
+	cfg.DelayedStartBits = 1500
+	cfg.WarmupBytes = 256 << 10
+	return cfg
+}
+
+// Universality demonstrates the paper's portability claim (Sections 2.3.2
+// and 2.4): flush-based attacks require an unprivileged flush instruction
+// and are impossible on ARM, while Streamline — relying only on shared
+// memory and hit/miss timing — runs on both ISAs (even its coarse
+// synchronization channel falls back to eviction-based resets).
+func Universality(o Opts) (*Table, error) {
+	bits := 400000
+	if o.Quick {
+		bits = 150000
+	}
+	t := &Table{
+		ID:     "universality",
+		Title:  "Attack availability and throughput across ISAs",
+		Header: []string{"attack", "Intel Skylake (x86)", "ARM Cortex-A72 (ARMv8)"},
+		Notes: []string{
+			"flush attacks need unprivileged clflush: unavailable on ARMv8 by default, absent on ARMv7 (Section 2.3.2)",
+			"Streamline needs only shared memory and cache-hit/miss timing: it runs on both",
+		},
+	}
+	arm := params.ARMCortexA72()
+
+	// Flush-based baselines: measured on x86, refused on ARM.
+	type mkAttack func(m *params.Machine, seed uint64) (attacks.Attack, error)
+	baselines := []struct {
+		name string
+		mk   mkAttack
+	}{
+		{"flush+reload", func(m *params.Machine, s uint64) (attacks.Attack, error) {
+			return attacks.NewFlushReloadOn(m, 0, s)
+		}},
+		{"flush+flush", func(m *params.Machine, s uint64) (attacks.Attack, error) {
+			return attacks.NewFlushFlushOn(m, 0, s)
+		}},
+	}
+	baselineBits := 40000
+	for _, b := range baselines {
+		row := []string{b.name}
+		a, err := b.mk(nil, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := a.Run(payload.Random(o.Seed, baselineBits))
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmt.Sprintf("%.0f KB/s @ %.2f%%", res.BitRateKBps, res.Errors.Rate()*100))
+		if _, err := b.mk(arm, o.Seed); err != nil {
+			row = append(row, "unavailable (no unprivileged flush)")
+		} else {
+			row = append(row, "unexpectedly available")
+		}
+		t.Rows = append(t.Rows, row)
+		o.progress("universality: %s done", b.name)
+	}
+
+	// Prime+Probe works everywhere (no flushes, no shared memory) but
+	// stays slow; include it for contrast.
+	{
+		row := []string{"prime+probe(llc)"}
+		for _, m := range []*params.Machine{nil, arm} {
+			a, err := attacks.NewPrimeProbeLLCOn(m, 0, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := a.Run(payload.Random(o.Seed, baselineBits))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.0f KB/s @ %.2f%%", res.BitRateKBps, res.Errors.Rate()*100))
+		}
+		t.Rows = append(t.Rows, row)
+		o.progress("universality: prime+probe done")
+	}
+
+	// Streamline on both platforms.
+	{
+		row := []string{"streamline"}
+		for _, mk := range []func() core.Config{core.DefaultConfig, ARMStreamlineConfig} {
+			var rates, errs []float64
+			for r := 0; r < o.runs(); r++ {
+				cfg := mk()
+				cfg.Seed = o.Seed + uint64(r)*31
+				res, err := core.Run(cfg, payload.Random(cfg.Seed, bits))
+				if err != nil {
+					return nil, err
+				}
+				rates = append(rates, res.BitRateKBps)
+				errs = append(errs, res.Errors.Rate()*100)
+			}
+			var rSum, eSum float64
+			for i := range rates {
+				rSum += rates[i]
+				eSum += errs[i]
+			}
+			row = append(row, fmt.Sprintf("%.0f KB/s @ %.2f%%",
+				rSum/float64(len(rates)), eSum/float64(len(errs))))
+		}
+		t.Rows = append(t.Rows, row)
+		o.progress("universality: streamline done")
+	}
+	return t, nil
+}

@@ -1,0 +1,405 @@
+// Package hier assembles the full memory hierarchy the covert channels run
+// on: per-core L1 and L2 caches, a shared inclusive LLC, per-core
+// prefetchers observing the L2 access stream, and a DRAM model behind the
+// LLC.
+//
+// The model is read-only (covert channels only load shared read-only data,
+// Section 2.2), so no coherence protocol is needed: correctness reduces to
+// presence/absence of lines, and inclusivity is enforced by back-
+// invalidating private copies when the LLC evicts a line.
+package hier
+
+import (
+	"fmt"
+
+	"streamline/internal/cache"
+	"streamline/internal/dram"
+	"streamline/internal/mem"
+	"streamline/internal/params"
+	"streamline/internal/prefetch"
+	"streamline/internal/rng"
+	"streamline/internal/tlb"
+)
+
+// Level identifies where an access was served.
+type Level int
+
+// Hierarchy levels.
+const (
+	L1 Level = iota
+	L2
+	LLC
+	DRAM
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case LLC:
+		return "LLC"
+	case DRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// AccessResult reports one load's outcome.
+type AccessResult struct {
+	Latency int
+	Level   Level
+}
+
+// Options configures hierarchy construction.
+type Options struct {
+	// LLCPolicy overrides the LLC replacement policy; nil selects the
+	// Skylake-flavoured adaptive RRIP.
+	LLCPolicy cache.Policy
+	// DisablePrefetch turns all hardware prefetchers off.
+	DisablePrefetch bool
+	// DRAM overrides the DRAM config; nil selects dram.DefaultConfig.
+	DRAM *dram.Config
+	// Seed drives every pseudo-random decision in the hierarchy.
+	Seed uint64
+
+	// The remaining options model the isolation and noise-injection
+	// mitigations of the paper's Section 7.
+
+	// CoreDomains assigns each core to a trust domain (nil: all cores in
+	// domain 0). Only meaningful together with PartitionWays.
+	CoreDomains []int
+	// PartitionWays, when positive, gives every trust domain its own
+	// LLC partition of that many ways (DAWG-style): lookups only see the
+	// requesting domain's lines, so cross-domain cache hits — the signal
+	// every shared-memory cache attack decodes — cannot happen.
+	PartitionWays int
+	// RandomFillProb is the probability that a demand fill skips the LLC
+	// (random-fill caches, Liu & Lee): the data is returned to the core
+	// but not deterministically cached, denying the sender reliable
+	// installs.
+	RandomFillProb float64
+	// TLB, when non-nil, models per-core address translation: TLB misses
+	// add their penalty to the access latency the requester observes.
+	// nil means translation is free — the right model under the huge
+	// pages the paper's methodology mandates (a 64 MB array is 32 huge
+	// pages). Pass tlb.Skylake4K() to study the 4 KB-page pathology.
+	TLB *tlb.Config
+}
+
+// Hierarchy is the shared-memory system. It is not safe for concurrent
+// use: the simulator interleaves agents deterministically on one goroutine.
+type Hierarchy struct {
+	mach *params.Machine
+	geom mem.Geometry
+
+	l1 []*cache.Cache
+	l2 []*cache.Cache
+	// llcs holds one cache per trust domain; unpartitioned systems have a
+	// single shared entry.
+	llcs    []*cache.Cache
+	domains []int // core -> domain
+	dram    *dram.Model
+	pf      []prefetch.Prefetcher
+	tlbs    []*tlb.TLB
+	fillRnd *rng.Xoshiro // non-nil when RandomFillProb > 0
+	fillP   float64
+
+	pfBuf []mem.Addr
+
+	// Stats
+	Served [4]uint64 // accesses served per level
+	// ServedPerCore mirrors Served for each core (the raw material of
+	// performance-counter detectors, Section 7).
+	ServedPerCore [][4]uint64
+	// SkippedFills counts demand fills dropped by the random-fill defense.
+	SkippedFills uint64
+}
+
+// New builds the hierarchy for machine m.
+func New(m *params.Machine, opt Options) (*Hierarchy, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	geom, err := mem.NewGeometry(m.LLC.LineBytes, m.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	// Trust domains: cores map to LLC partitions when PartitionWays > 0.
+	domains := make([]int, m.Cores)
+	nDomains := 1
+	if opt.PartitionWays > 0 {
+		if opt.PartitionWays > m.LLC.Ways {
+			return nil, fmt.Errorf("hier: partition of %d ways exceeds LLC associativity %d",
+				opt.PartitionWays, m.LLC.Ways)
+		}
+		for c := range domains {
+			if opt.CoreDomains != nil {
+				domains[c] = opt.CoreDomains[c]
+			} else {
+				domains[c] = c // one domain per core by default
+			}
+			if domains[c] < 0 {
+				return nil, fmt.Errorf("hier: negative domain for core %d", c)
+			}
+			if domains[c]+1 > nDomains {
+				nDomains = domains[c] + 1
+			}
+		}
+		if nDomains*opt.PartitionWays > m.LLC.Ways {
+			return nil, fmt.Errorf("hier: %d domains x %d ways exceed LLC associativity %d",
+				nDomains, opt.PartitionWays, m.LLC.Ways)
+		}
+	}
+	llcWays := m.LLC.Ways
+	if opt.PartitionWays > 0 {
+		llcWays = opt.PartitionWays
+	}
+	var llcs []*cache.Cache
+	for d := 0; d < nDomains; d++ {
+		llcPol := opt.LLCPolicy
+		if llcPol == nil || d > 0 {
+			llcPol = cache.NewSkylakeLLC(opt.Seed ^ 0x11c ^ uint64(d)<<32)
+		}
+		llc, err := cache.New(m.LLC.Sets(), llcWays, llcPol)
+		if err != nil {
+			return nil, fmt.Errorf("LLC[%d]: %w", d, err)
+		}
+		llcs = append(llcs, llc)
+	}
+	// Scale the DRAM timing to the machine: its mean miss latency is the
+	// LLC lookup plus the configured DRAM base cost.
+	dcfg := dram.ScaledConfig(m.Lat.LLCHit+m.Lat.DRAMBase, m.Lat.Threshold)
+	if opt.DRAM != nil {
+		dcfg = *opt.DRAM
+	}
+	h := &Hierarchy{
+		mach:          m,
+		geom:          geom,
+		llcs:          llcs,
+		domains:       domains,
+		dram:          dram.New(dcfg, opt.Seed^0xd7a3),
+		pfBuf:         make([]mem.Addr, 0, 8),
+		fillP:         opt.RandomFillProb,
+		ServedPerCore: make([][4]uint64, m.Cores),
+	}
+	if h.fillP > 0 {
+		h.fillRnd = rng.New(opt.Seed ^ 0xf111)
+	}
+	for c := 0; c < m.Cores; c++ {
+		l1, err := cache.New(m.L1.Sets(), m.L1.Ways, cache.NewTreePLRU())
+		if err != nil {
+			return nil, fmt.Errorf("L1[%d]: %w", c, err)
+		}
+		l2, err := cache.New(m.L2.Sets(), m.L2.Ways, cache.NewTreePLRU())
+		if err != nil {
+			return nil, fmt.Errorf("L2[%d]: %w", c, err)
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+		if opt.DisablePrefetch {
+			h.pf = append(h.pf, prefetch.None{})
+		} else {
+			h.pf = append(h.pf, prefetch.NewIntelLike(geom))
+		}
+		if opt.TLB != nil {
+			t, err := tlb.New(*opt.TLB)
+			if err != nil {
+				return nil, err
+			}
+			h.tlbs = append(h.tlbs, t)
+		}
+	}
+	return h, nil
+}
+
+// TLBOf exposes core's TLB (nil when translation is not modelled).
+func (h *Hierarchy) TLBOf(core int) *tlb.TLB {
+	if h.tlbs == nil {
+		return nil
+	}
+	return h.tlbs[core]
+}
+
+// Machine returns the platform description.
+func (h *Hierarchy) Machine() *params.Machine { return h.mach }
+
+// Geometry returns the line/page geometry.
+func (h *Hierarchy) Geometry() mem.Geometry { return h.geom }
+
+// LLC exposes the shared cache (domain 0's partition on partitioned
+// systems) for diagnostics and tests.
+func (h *Hierarchy) LLC() *cache.Cache { return h.llcs[0] }
+
+// llcFor returns the LLC partition visible to core.
+func (h *Hierarchy) llcFor(core int) *cache.Cache { return h.llcs[h.domains[core]] }
+
+// DRAMModel exposes the DRAM model for diagnostics.
+func (h *Hierarchy) DRAMModel() *dram.Model { return h.dram }
+
+// checkCore panics on an out-of-range core id; the ids are fixed small
+// constants in every caller, so this is a programming error, not input.
+func (h *Hierarchy) checkCore(core int) {
+	if core < 0 || core >= len(h.l1) {
+		panic(fmt.Sprintf("hier: core %d out of range [0,%d)", core, len(h.l1)))
+	}
+}
+
+// Access performs a demand load from the given core at time now and
+// returns its latency and serving level.
+func (h *Hierarchy) Access(core int, a mem.Addr, now uint64) AccessResult {
+	h.checkCore(core)
+	line := h.geom.LineOf(a)
+	lat := h.mach.Lat
+
+	// Address translation rides on top of every access the requester
+	// times: a page walk delays even an L1 hit.
+	tlbPenalty := 0
+	if h.tlbs != nil {
+		tlbPenalty = h.tlbs[core].Penalty(a)
+	}
+
+	if h.l1[core].Access(line).Hit {
+		h.count(core, L1)
+		return AccessResult{Latency: lat.L1Hit + tlbPenalty, Level: L1}
+	}
+	// L1 miss: the prefetcher watches the L2 access stream. The L2 lookup
+	// below installs the line on a miss, so the L2 fill is implicit; only
+	// the L1 needs an explicit fill on each path. Private evictions are
+	// silent: lines are clean and the LLC is inclusive.
+	l2hit := h.l2[core].Access(line).Hit
+	h.prefetchAfter(core, a)
+	if l2hit {
+		h.count(core, L2)
+		h.l1[core].Access(line)
+		return AccessResult{Latency: lat.L2Hit + tlbPenalty, Level: L2}
+	}
+	llc := h.llcFor(core)
+	if h.fillRnd != nil && !llc.Probe(line) && h.fillRnd.Float64() < h.fillP {
+		// Random-fill defense: serve the miss without caching it in the
+		// LLC. (The private fill still happens: the requester keeps its
+		// own copy briefly, which leaks nothing cross-core.)
+		h.SkippedFills++
+		h.l1[core].Access(line)
+		h.count(core, DRAM)
+		return AccessResult{Latency: h.dram.Latency(now, a) + tlbPenalty, Level: DRAM}
+	}
+	llcRes := llc.Access(line) // installs on miss
+	if llcRes.DidEvict {
+		h.backInvalidate(h.domains[core], llcRes.Evicted)
+	}
+	h.l1[core].Access(line)
+	if llcRes.Hit {
+		h.count(core, LLC)
+		return AccessResult{Latency: lat.LLCHit + tlbPenalty, Level: LLC}
+	}
+	// Full miss: the line was fetched from DRAM (and filled above).
+	h.count(core, DRAM)
+	return AccessResult{Latency: h.dram.Latency(now, a) + tlbPenalty, Level: DRAM}
+}
+
+// count records a served access for the global and per-core counters.
+func (h *Hierarchy) count(core int, level Level) {
+	h.Served[level]++
+	h.ServedPerCore[core][level]++
+}
+
+// backInvalidate removes the private copies of line held by cores of the
+// evicting domain, preserving inclusion after an LLC eviction. (Other
+// domains keep their own partition's copy.)
+func (h *Hierarchy) backInvalidate(domain int, line mem.Line) {
+	for c := range h.l1 {
+		if h.domains[c] != domain {
+			continue
+		}
+		h.l1[c].Invalidate(line)
+		h.l2[c].Invalidate(line)
+	}
+}
+
+// prefetchAfter lets the core's prefetcher observe address a and performs
+// the proposed fills into the core's L2 and its LLC partition.
+func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
+	h.pfBuf = h.pf[core].Observe(a, false, h.pfBuf[:0])
+	for _, pa := range h.pfBuf {
+		pl := h.geom.LineOf(pa)
+		if r := h.llcFor(core).InstallPrefetch(pl); r.DidEvict {
+			h.backInvalidate(h.domains[core], r.Evicted)
+		}
+		h.l2[core].InstallPrefetch(pl)
+	}
+}
+
+// Flush models clflush: the line is removed from every cache in the system.
+// It returns the flush latency and whether the line was cached anywhere —
+// the timing signal Flush+Flush decodes.
+func (h *Hierarchy) Flush(core int, a mem.Addr) (latency int, wasCached bool) {
+	h.checkCore(core)
+	line := h.geom.LineOf(a)
+	for c := range h.l1 {
+		if h.l1[c].Invalidate(line) {
+			wasCached = true
+		}
+		if h.l2[c].Invalidate(line) {
+			wasCached = true
+		}
+	}
+	for _, llc := range h.llcs {
+		if llc.Flush(line) {
+			wasCached = true
+		}
+	}
+	if wasCached {
+		return h.mach.Lat.FlushLatency, true
+	}
+	return h.mach.Lat.FlushMiss, false
+}
+
+// ProbeLLC reports whether a's line is in any LLC partition, without side
+// effects.
+func (h *Hierarchy) ProbeLLC(a mem.Addr) bool {
+	line := h.geom.LineOf(a)
+	for _, llc := range h.llcs {
+		if llc.Probe(line) {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbePrivate reports whether a's line is in core's L1 or L2.
+func (h *Hierarchy) ProbePrivate(core int, a mem.Addr) bool {
+	h.checkCore(core)
+	line := h.geom.LineOf(a)
+	return h.l1[core].Probe(line) || h.l2[core].Probe(line)
+}
+
+// InvalidatePrivate drops a's line from core's private caches only (used by
+// tests to force the next access to be served by the LLC).
+func (h *Hierarchy) InvalidatePrivate(core int, a mem.Addr) {
+	h.checkCore(core)
+	line := h.geom.LineOf(a)
+	h.l1[core].Invalidate(line)
+	h.l2[core].Invalidate(line)
+}
+
+// CheckInclusion verifies that every line resident in a private cache is
+// also in the LLC; it returns the first violating line found, for tests.
+func (h *Hierarchy) CheckInclusion() (mem.Line, bool) {
+	for c := range h.l1 {
+		llc := h.llcFor(c)
+		for _, lv := range []*cache.Cache{h.l1[c], h.l2[c]} {
+			for s := 0; s < lv.Sets(); s++ {
+				for _, line := range lv.LinesInSet(s, nil) {
+					if !llc.Probe(line) {
+						return line, false
+					}
+				}
+			}
+		}
+	}
+	return 0, true
+}

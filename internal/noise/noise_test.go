@@ -1,0 +1,122 @@
+package noise
+
+import (
+	"testing"
+
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/params"
+)
+
+func setup(t *testing.T) (*hier.Hierarchy, *mem.Allocator) {
+	t.Helper()
+	m := params.SkylakeE3()
+	h, err := hier.New(m, hier.Options{DisablePrefetch: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mem.NewAllocator(m.PageSize)
+}
+
+func TestEveryKernelRuns(t *testing.T) {
+	h, alloc := setup(t)
+	for i, cfg := range StressNG(8 << 20) {
+		w := New(cfg, h, i%4, alloc, uint64(i))
+		now := uint64(0)
+		for s := 0; s < 100; s++ {
+			cost, done := w.Step(now)
+			if done {
+				t.Fatalf("%s: noise agent claimed completion", cfg.Name)
+			}
+			if cost == 0 {
+				t.Fatalf("%s: zero-cost step", cfg.Name)
+			}
+			now += cost
+		}
+		batch := cfg.Parallel
+		if batch < 1 {
+			batch = 1
+		}
+		if w.Accesses != uint64(100*batch) {
+			t.Fatalf("%s: accesses = %d, want %d", cfg.Name, w.Accesses, 100*batch)
+		}
+	}
+}
+
+func TestKernelsStayInTheirRegion(t *testing.T) {
+	h, alloc := setup(t)
+	cfg, ok := ByName(8<<20, "cache")
+	if !ok {
+		t.Fatal("missing kernel")
+	}
+	w := New(cfg, h, 0, alloc, 3)
+	// Region indexing panics on out-of-range addresses, so simply running
+	// many steps exercises the bound.
+	now := uint64(0)
+	for s := 0; s < 1000; s++ {
+		cost, _ := w.Step(now)
+		now += cost
+	}
+}
+
+func TestHighFootprintKernelChurnsLLC(t *testing.T) {
+	h, alloc := setup(t)
+	// Install a victim line and measure whether heavy noise evicts it.
+	victimReg := alloc.Alloc(4096)
+	h.Access(1, victimReg.Base, 0)
+	if !h.ProbeLLC(victimReg.Base) {
+		t.Fatal("victim line not installed")
+	}
+	cfg, _ := ByName(8<<20, "stream")
+	w := New(cfg, h, 0, alloc, 5)
+	now := uint64(1000)
+	for s := 0; s < 500000; s++ {
+		cost, _ := w.Step(now)
+		now += cost
+		if !h.ProbeLLC(victimReg.Base) {
+			return // evicted: the stressor does its job
+		}
+	}
+	t.Fatal("LLC-sized streaming noise never evicted the victim line")
+}
+
+func TestChaseIsSlowerThanSeq(t *testing.T) {
+	h, alloc := setup(t)
+	run := func(name string, core int, seed uint64) float64 {
+		cfg, ok := ByName(8<<20, name)
+		if !ok {
+			t.Fatalf("missing kernel %s", name)
+		}
+		w := New(cfg, h, core, alloc, seed)
+		now := uint64(0)
+		for s := 0; s < 200; s++ {
+			cost, _ := w.Step(now)
+			now += cost
+		}
+		return float64(now) / float64(w.Accesses)
+	}
+	seqCost := run("stream", 0, 1)
+	chaseCost := run("vm", 1, 2)
+	if chaseCost <= seqCost {
+		t.Fatalf("pointer chase (%.1f cyc/access) not slower than stream (%.1f)", chaseCost, seqCost)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName(8<<20, "no-such-kernel"); ok {
+		t.Fatal("ByName invented a kernel")
+	}
+	if _, ok := ByName(8<<20, "browser"); !ok {
+		t.Fatal("browser kernel missing")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	h, alloc := setup(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "bad"}, h, 0, alloc, 1)
+}

@@ -1,0 +1,104 @@
+// Package payload converts between byte payloads and the bit vectors the
+// covert channel transmits (one cache line per bit), generates test
+// payloads, and applies the PRNG channel modulation of Section 3.2.
+//
+// Bit vectors use one byte per bit with values 0 or 1: the simulator
+// inspects and compares individual bits constantly, and the flat encoding
+// keeps that cheap and obvious.
+package payload
+
+import (
+	"fmt"
+
+	"streamline/internal/rng"
+)
+
+// FromBytes unpacks data into a bit vector, LSB-first per byte.
+func FromBytes(data []byte) []byte {
+	bits := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			bits = append(bits, b>>i&1)
+		}
+	}
+	return bits
+}
+
+// ToBytes packs a bit vector (LSB-first) back into bytes. Trailing bits
+// that do not fill a byte are dropped.
+func ToBytes(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b |= (bits[i+j] & 1) << j
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Random returns n pseudo-random bits from the given seed.
+func Random(seed uint64, n int) []byte {
+	x := rng.New(seed)
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(x.Uint64() & 1)
+	}
+	return bits
+}
+
+// Biased returns n bits that are 1 with probability p — the "many 0s" /
+// "many 1s" payloads whose rate pathologies Figure 4 illustrates.
+func Biased(seed uint64, n int, p float64) []byte {
+	x := rng.New(seed)
+	bits := make([]byte, n)
+	for i := range bits {
+		if x.Float64() < p {
+			bits[i] = 1
+		}
+	}
+	return bits
+}
+
+// Constant returns n copies of bit (0 or 1); used by the encoding ablation
+// to reproduce the pathological all-0s / all-1s payloads of Figure 4.
+func Constant(bit byte, n int) []byte {
+	if bit > 1 {
+		panic(fmt.Sprintf("payload: bit value %d", bit))
+	}
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = bit
+	}
+	return bits
+}
+
+// Modulate XORs payload bits with the keystream derived from seed,
+// producing the transmitted bits TB-i = PB-i ^ PRNG-i. Demodulating with
+// the same seed recovers the payload.
+func Modulate(payloadBits []byte, seed uint64) []byte {
+	k := rng.NewKeystream(seed)
+	out := make([]byte, len(payloadBits))
+	for i, pb := range payloadBits {
+		out[i] = (pb & 1) ^ k.Bit()
+	}
+	return out
+}
+
+// Demodulate recovers payload bits from transmitted bits; it is the same
+// XOR and exists for call-site clarity.
+func Demodulate(txBits []byte, seed uint64) []byte {
+	return Modulate(txBits, seed)
+}
+
+// Ones counts the 1-bits in a bit vector.
+func Ones(bits []byte) int {
+	n := 0
+	for _, b := range bits {
+		if b&1 == 1 {
+			n++
+		}
+	}
+	return n
+}

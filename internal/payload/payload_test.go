@@ -1,0 +1,97 @@
+package payload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(ToBytes(FromBytes(data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromBytesLSBFirst(t *testing.T) {
+	bits := FromBytes([]byte{0b00000101})
+	want := []byte{1, 0, 1, 0, 0, 0, 0, 0}
+	if !bytes.Equal(bits, want) {
+		t.Fatalf("bits = %v, want %v", bits, want)
+	}
+}
+
+func TestToBytesDropsPartial(t *testing.T) {
+	if got := ToBytes([]byte{1, 1, 1}); len(got) != 0 {
+		t.Fatalf("partial byte produced %v", got)
+	}
+}
+
+func TestRandomBalancedAndDeterministic(t *testing.T) {
+	a := Random(9, 100000)
+	b := Random(9, 100000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed gave different payloads")
+	}
+	ones := Ones(a)
+	if ones < 49000 || ones > 51000 {
+		t.Fatalf("ones = %d, not balanced", ones)
+	}
+	c := Random(10, 100000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds gave identical payloads")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	if Ones(Constant(1, 50)) != 50 || Ones(Constant(0, 50)) != 0 {
+		t.Fatal("Constant wrong")
+	}
+}
+
+func TestConstantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Constant(2, 1)
+}
+
+// The property the channel encoding exists for: transmitted bits are
+// balanced regardless of payload bias (Section 3.2, Figure 5).
+func TestModulateBalancesBiasedPayload(t *testing.T) {
+	for _, bit := range []byte{0, 1} {
+		tx := Modulate(Constant(bit, 100000), 77)
+		ones := Ones(tx)
+		if ones < 49000 || ones > 51000 {
+			t.Fatalf("payload of all-%ds modulated to %d ones; want ~50%%", bit, ones)
+		}
+	}
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	f := func(seed uint64, data []byte) bool {
+		bits := FromBytes(data)
+		return bytes.Equal(Demodulate(Modulate(bits, seed), seed), bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModulateDifferentSeedsGarble(t *testing.T) {
+	bits := Random(1, 10000)
+	garbled := Demodulate(Modulate(bits, 2), 3)
+	diff := 0
+	for i := range bits {
+		if bits[i] != garbled[i] {
+			diff++
+		}
+	}
+	if diff < 4000 {
+		t.Fatalf("wrong-seed demodulation matched too well (%d diffs)", diff)
+	}
+}

@@ -1,0 +1,299 @@
+package prefetch
+
+import (
+	"testing"
+
+	"streamline/internal/mem"
+)
+
+func g(t *testing.T) mem.Geometry {
+	t.Helper()
+	geom, err := mem.NewGeometry(64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return geom
+}
+
+func lines(geom mem.Geometry, addrs []mem.Addr) []int {
+	out := make([]int, len(addrs))
+	for i, a := range addrs {
+		out[i] = int(geom.LineOf(a))
+	}
+	return out
+}
+
+func TestNonePrefetchesNothing(t *testing.T) {
+	var p None
+	if got := p.Observe(1234, false, nil); len(got) != 0 {
+		t.Fatalf("None proposed %v", got)
+	}
+}
+
+func TestNextLineNeedsAscendingStreak(t *testing.T) {
+	geom := g(t)
+	p := NewNextLine(geom)
+	if got := p.Observe(0, false, nil); len(got) != 0 {
+		t.Fatalf("first access triggered next-line: %v", lines(geom, got))
+	}
+	got := p.Observe(64, false, nil) // ascending streak 0 -> 1
+	if len(got) != 1 || geom.LineOf(got[0]) != 2 {
+		t.Fatalf("streak proposed %v, want line 2", lines(geom, got))
+	}
+	// A stride-3 access breaks the streak: no proposal.
+	if got := p.Observe(64*4, false, nil); len(got) != 0 {
+		t.Fatalf("stride access triggered next-line: %v", lines(geom, got))
+	}
+}
+
+func TestNextLineStopsAtPageBoundary(t *testing.T) {
+	geom := g(t)
+	p := NewNextLine(geom)
+	p.Observe(mem.Addr(62*64), false, nil)
+	last := mem.Addr(63 * 64) // streaked access to the final line of page 0
+	if got := p.Observe(last, false, nil); len(got) != 0 {
+		t.Fatalf("next-line crossed page boundary: %v", lines(geom, got))
+	}
+}
+
+func TestNextLineReset(t *testing.T) {
+	geom := g(t)
+	p := NewNextLine(geom)
+	p.Observe(0, false, nil)
+	p.Reset()
+	if got := p.Observe(64, false, nil); len(got) != 0 {
+		t.Fatalf("streak survived reset: %v", lines(geom, got))
+	}
+}
+
+func TestStreamerLearnsDenseRun(t *testing.T) {
+	geom := g(t)
+	p := NewStreamer(geom)
+	var got []mem.Addr
+	// Stride-2 run within one page: should train after two deltas.
+	for i := 0; i < 4; i++ {
+		got = p.Observe(mem.Addr(i*2*64), false, got[:0])
+	}
+	if len(got) == 0 {
+		t.Fatal("streamer failed to train on dense stride-2 run")
+	}
+	// Proposals continue the stride within the page.
+	for _, a := range got {
+		if geom.PageOf(a) != 0 {
+			t.Fatalf("streamer crossed page: %v", lines(geom, got))
+		}
+		if geom.LineInPage(a)%2 != 0 {
+			t.Fatalf("streamer proposed off-stride line %d", geom.LineInPage(a))
+		}
+	}
+}
+
+func TestStreamerIgnoresSparseStride(t *testing.T) {
+	geom := g(t)
+	p := NewStreamer(geom)
+	var got []mem.Addr
+	// Stride-3 exceeds the dense window: never trains.
+	for i := 0; i < 20; i++ {
+		got = p.Observe(mem.Addr(i*3*64), false, got[:0])
+		if len(got) != 0 {
+			t.Fatalf("streamer trained on stride-3 at step %d: %v", i, lines(geom, got))
+		}
+	}
+}
+
+func TestStreamerTracksInterleavedPages(t *testing.T) {
+	geom := g(t)
+	p := NewStreamer(geom)
+	var got []mem.Addr
+	proposals := 0
+	// Two pages, dense stride 1, interleaved: per-page tracking should
+	// still train both streams.
+	for i := 0; i < 8; i++ {
+		a := mem.Addr(i/2*64) + mem.Addr(i%2*4096)
+		got = p.Observe(a, false, got[:0])
+		proposals += len(got)
+	}
+	if proposals == 0 {
+		t.Fatal("streamer failed to track interleaved dense streams")
+	}
+}
+
+func TestStreamerDescendingRun(t *testing.T) {
+	geom := g(t)
+	p := NewStreamer(geom)
+	var got []mem.Addr
+	for i := 10; i >= 5; i-- {
+		got = p.Observe(mem.Addr(i*64), false, got[:0])
+	}
+	if len(got) == 0 {
+		t.Fatal("streamer failed on descending run")
+	}
+	for _, a := range got {
+		if geom.LineInPage(a) >= 5 {
+			t.Fatalf("descending proposal went the wrong way: line %d", geom.LineInPage(a))
+		}
+	}
+}
+
+func TestStreamerEntryEviction(t *testing.T) {
+	geom := g(t)
+	p := NewStreamer(geom)
+	// Touch 32 distinct pages: table has 16 entries, must not grow or panic.
+	for i := 0; i < 32; i++ {
+		p.Observe(mem.Addr(i*4096), false, nil)
+	}
+	valid := 0
+	for _, e := range p.entries {
+		if e.valid {
+			valid++
+		}
+	}
+	if valid != 16 {
+		t.Fatalf("streamer table holds %d entries, want 16", valid)
+	}
+}
+
+func TestStrideLearnsConstantDelta(t *testing.T) {
+	geom := g(t)
+	p := NewStride(geom)
+	var got []mem.Addr
+	// Constant stride of 3 lines within a page (y=1 in Table 1 terms).
+	for i := 0; i < 5; i++ {
+		got = p.Observe(mem.Addr(i*3*64), false, got[:0])
+	}
+	if len(got) == 0 {
+		t.Fatal("stride detector failed on constant delta")
+	}
+	if geom.LineOf(got[0]) != 15 { // 4*3 + 3
+		t.Fatalf("stride proposal = line %d, want 15", geom.LineOf(got[0]))
+	}
+}
+
+func TestStrideDefeatedByAlternatingDeltas(t *testing.T) {
+	geom := g(t)
+	p := NewStride(geom)
+	// The Streamline pattern: pairs of pages, stride 3, alternating —
+	// deltas alternate and never repeat consecutively.
+	var got []mem.Addr
+	for i := 0; i < 40; i++ {
+		page := uint64(i % 2)
+		line := i / 2 * 3
+		a := mem.Addr(page*4096 + uint64(line*64))
+		got = p.Observe(a, false, got[:0])
+		if len(got) != 0 {
+			t.Fatalf("stride detector trained on alternating pattern at step %d", i)
+		}
+	}
+}
+
+func TestStrideDoesNotCrossPages(t *testing.T) {
+	geom := g(t)
+	p := NewStride(geom)
+	var got []mem.Addr
+	// Constant stride of 16 lines: proposals near the page end must stop
+	// at the boundary.
+	for i := 0; i < 4; i++ {
+		got = p.Observe(mem.Addr(i*16*64), false, got[:0])
+	}
+	for _, a := range got {
+		if geom.PageOf(a) != 0 {
+			t.Fatalf("stride proposal crossed page: %v", lines(geom, got))
+		}
+	}
+}
+
+func TestStrideIgnoresHugeJumps(t *testing.T) {
+	geom := g(t)
+	p := NewStride(geom)
+	var got []mem.Addr
+	for i := 0; i < 10; i++ {
+		got = p.Observe(mem.Addr(i*2*4096), false, got[:0]) // 2-page jumps
+		if len(got) != 0 {
+			t.Fatal("stride trained on multi-page jumps")
+		}
+	}
+}
+
+func TestCompositeDeduplicates(t *testing.T) {
+	geom := g(t)
+	// Next-line twice: duplicates must collapse.
+	p := NewComposite(geom, NewNextLine(geom), NewNextLine(geom))
+	p.Observe(0, false, nil)
+	got := p.Observe(64, false, nil) // ascending streak triggers both
+	if len(got) != 1 {
+		t.Fatalf("composite returned %d proposals, want 1", len(got))
+	}
+}
+
+func TestCompositeReset(t *testing.T) {
+	geom := g(t)
+	p := NewIntelLike(geom)
+	for i := 0; i < 5; i++ {
+		p.Observe(mem.Addr(i*64), false, nil)
+	}
+	p.Reset()
+	// After reset the stride detector must need re-training.
+	got := p.Observe(mem.Addr(100*4096), false, nil)
+	for _, a := range got {
+		if geom.PageOf(a) != 100 {
+			t.Fatalf("stale training survived reset: %v", lines(geom, got))
+		}
+	}
+}
+
+func TestIntelLikeCoversSequential(t *testing.T) {
+	geom := g(t)
+	p := NewIntelLike(geom)
+	// Sequential accesses: nearly every next access should have been
+	// proposed beforehand.
+	proposed := map[mem.Line]bool{}
+	covered := 0
+	const n = 64
+	for i := 0; i < n; i++ {
+		a := mem.Addr(i * 64)
+		if proposed[geom.LineOf(a)] {
+			covered++
+		}
+		for _, c := range p.Observe(a, false, nil) {
+			proposed[geom.LineOf(c)] = true
+		}
+	}
+	if covered < n*3/4 {
+		t.Fatalf("sequential coverage %d/%d too low", covered, n)
+	}
+}
+
+func TestIntelLikeFooledByStreamlinePattern(t *testing.T) {
+	geom := g(t)
+	p := NewIntelLike(geom)
+	// Equations 1-3 of the paper with x=3, y=2, starting at line 14.
+	proposed := map[mem.Line]bool{}
+	covered, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		pg := 2*(3*i/128) + i%2
+		cl := (14 + 3*(i/2)) % 64
+		a := mem.Addr(pg*4096 + cl*64)
+		total++
+		if proposed[geom.LineOf(a)] {
+			covered++
+		}
+		for _, c := range p.Observe(a, false, nil) {
+			proposed[geom.LineOf(c)] = true
+		}
+	}
+	if covered > total/20 {
+		t.Fatalf("Streamline pattern was prefetched %d/%d times; should fool the prefetcher", covered, total)
+	}
+}
+
+func BenchmarkIntelLikeObserve(b *testing.B) {
+	geom, _ := mem.NewGeometry(64, 4096)
+	p := NewIntelLike(geom)
+	buf := make([]mem.Addr, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := 2*(3*i/128) + i%2
+		cl := (14 + 3*(i/2)) % 64
+		buf = p.Observe(mem.Addr(pg*4096+cl*64), false, buf[:0])
+	}
+}

@@ -1,0 +1,142 @@
+// Package rng provides the deterministic pseudo-random number generators the
+// simulator and the channel encoding rely on.
+//
+// Two generators are provided: SplitMix64 (used for seeding and for cheap
+// decorrelated streams) and Xoshiro256** (the workhorse for latency jitter,
+// noise agents, and payload generation). The channel's keystream
+// (Section 3.2 of the paper: TB-i = PB-i XOR PRNG-i) is exposed as
+// Keystream, a bit-oriented wrapper that sender and receiver construct from
+// the same shared seed.
+//
+// Determinism matters: every experiment in this repository is reproducible
+// bit-for-bit from its seed, so no generator in this package ever consults
+// wall-clock time or global state.
+package rng
+
+// SplitMix64 is Steele et al.'s splitmix64 generator. The zero value is a
+// valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro is the xoshiro256** generator: fast, 256 bits of state, and
+// statistically strong enough for simulation workloads.
+type Xoshiro struct {
+	s [4]uint64
+}
+
+// New returns a Xoshiro generator whose state is expanded from seed via
+// SplitMix64, per the authors' recommendation.
+func New(seed uint64) *Xoshiro {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// Guard against the (astronomically unlikely) all-zero state, which
+	// is the one fixed point of the generator.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64-bit value.
+func (x *Xoshiro) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (x *Xoshiro) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free reduction is fine here: the
+	// bias for n << 2^64 is far below anything a simulation can observe.
+	hi, _ := mul64(x.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	return a1*b1 + t>>32 + w1>>32, a * b
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (x *Xoshiro) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform random bit.
+func (x *Xoshiro) Bool() bool { return x.Uint64()&1 == 1 }
+
+// Norm returns an approximately standard-normal variate using the sum of 12
+// uniforms (Irwin-Hall). The tails are truncated at ±6 sigma, which is
+// acceptable for latency-jitter modelling and avoids math imports.
+func (x *Xoshiro) Norm() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += x.Float64()
+	}
+	return s - 6
+}
+
+// Keystream produces the shared pseudo-random bit sequence used to modulate
+// payload bits (Section 3.2). Sender and receiver each construct one from
+// the same seed and must consume bits in lockstep by index.
+type Keystream struct {
+	x    *Xoshiro
+	buf  uint64
+	left int
+}
+
+// NewKeystream returns a keystream for the given shared seed.
+func NewKeystream(seed uint64) *Keystream {
+	return &Keystream{x: New(seed)}
+}
+
+// Bit returns the next keystream bit as 0 or 1.
+func (k *Keystream) Bit() byte {
+	if k.left == 0 {
+		k.buf = k.x.Uint64()
+		k.left = 64
+	}
+	b := byte(k.buf & 1)
+	k.buf >>= 1
+	k.left--
+	return b
+}
+
+// Bits fills dst with keystream bits (one bit per byte, values 0 or 1).
+func (k *Keystream) Bits(dst []byte) {
+	for i := range dst {
+		dst[i] = k.Bit()
+	}
+}

@@ -1,0 +1,120 @@
+// Package sched interleaves simulated processes ("agents") deterministically
+// on a shared cycle clock.
+//
+// Each agent owns a local clock; the scheduler always steps the agent whose
+// clock is lowest, so shared-state mutations (cache accesses) happen in
+// global time order without goroutines or locks. This is what makes the
+// asynchronous sender/receiver dynamics of the paper (gap growth, overtake,
+// coarse-grained synchronization) reproducible bit-for-bit.
+//
+// Agents are either required (the run ends when all of them finish) or
+// background (noise generators that run as long as any required agent is
+// alive).
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Agent is a resumable simulated process. Step executes the agent's next
+// atomic operation (one channel bit, one noise burst, ...) given its local
+// time, and returns the cycles consumed and whether the agent finished.
+// A zero cost is treated as one cycle so the simulation always advances.
+type Agent interface {
+	Name() string
+	Step(now uint64) (cost uint64, done bool)
+}
+
+type entry struct {
+	agent    Agent
+	time     uint64
+	done     bool
+	required bool
+}
+
+// Scheduler runs a set of agents to completion. The zero value is ready to
+// use.
+type Scheduler struct {
+	entries []entry
+	// MaxSteps bounds the total number of Step calls as a runaway guard;
+	// 0 means no bound.
+	MaxSteps uint64
+	steps    uint64
+}
+
+// ErrMaxSteps is returned when the step budget is exhausted before all
+// required agents finish.
+var ErrMaxSteps = errors.New("sched: step budget exhausted")
+
+// Add registers a required agent starting at local time start.
+func (s *Scheduler) Add(a Agent, start uint64) {
+	s.entries = append(s.entries, entry{agent: a, time: start, required: true})
+}
+
+// AddBackground registers a background agent that runs only while required
+// agents are still active.
+func (s *Scheduler) AddBackground(a Agent, start uint64) {
+	s.entries = append(s.entries, entry{agent: a, time: start})
+}
+
+// Steps reports how many agent steps the last Run executed.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Run interleaves all agents until every required agent reports done. It
+// returns the largest local time reached by any required agent (the
+// wall-clock length of the run in cycles).
+func (s *Scheduler) Run() (uint64, error) {
+	if len(s.entries) == 0 {
+		return 0, fmt.Errorf("sched: no agents")
+	}
+	required := 0
+	for _, e := range s.entries {
+		if e.required {
+			required++
+		}
+	}
+	if required == 0 {
+		return 0, fmt.Errorf("sched: no required agents")
+	}
+	s.steps = 0
+	for required > 0 {
+		if s.MaxSteps > 0 && s.steps >= s.MaxSteps {
+			return s.end(), ErrMaxSteps
+		}
+		idx := -1
+		for i := range s.entries {
+			if s.entries[i].done {
+				continue
+			}
+			if idx < 0 || s.entries[i].time < s.entries[idx].time {
+				idx = i
+			}
+		}
+		e := &s.entries[idx]
+		cost, done := e.agent.Step(e.time)
+		if cost == 0 {
+			cost = 1
+		}
+		e.time += cost
+		s.steps++
+		if done {
+			e.done = true
+			if e.required {
+				required--
+			}
+		}
+	}
+	return s.end(), nil
+}
+
+// end returns the maximum local time across required agents.
+func (s *Scheduler) end() uint64 {
+	var max uint64
+	for _, e := range s.entries {
+		if e.required && e.time > max {
+			max = e.time
+		}
+	}
+	return max
+}

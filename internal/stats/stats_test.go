@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.Margin != 0 || s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.Margin != 0 || s.N != 1 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// sd = sqrt(2.5), se = sd/sqrt(5), t(4) = 2.776
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if math.Abs(s.Margin-want) > 1e-9 {
+		t.Fatalf("margin = %v, want %v", s.Margin, want)
+	}
+}
+
+func TestSummarizeConstantSamples(t *testing.T) {
+	s := Summarize([]float64{7, 7, 7, 7})
+	if s.Mean != 7 || s.Margin != 0 {
+		t.Fatalf("constant summary = %+v", s)
+	}
+}
+
+func TestTMultAsymptotic(t *testing.T) {
+	if tMult(1000) != 1.96 {
+		t.Fatalf("large-df multiplier = %v", tMult(1000))
+	}
+	if tMult(1) != 12.706 {
+		t.Fatalf("df=1 multiplier = %v", tMult(1))
+	}
+	if tMult(0) != 0 {
+		t.Fatalf("df=0 multiplier = %v", tMult(0))
+	}
+}
+
+func TestCompareBreakdown(t *testing.T) {
+	sent := []byte{0, 0, 1, 1, 0, 1}
+	recv := []byte{0, 1, 1, 0, 0, 0}
+	b, err := Compare(sent, recv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 6 || b.Errors != 3 || b.ZeroToOne != 1 || b.OneToZero != 2 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if got := b.Rate(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := b.RateZeroToOne(); math.Abs(got-1.0/6) > 1e-12 {
+		t.Fatalf("0->1 rate = %v", got)
+	}
+	if got := b.RateOneToZero(); math.Abs(got-2.0/6) > 1e-12 {
+		t.Fatalf("1->0 rate = %v", got)
+	}
+}
+
+func TestCompareLengthMismatch(t *testing.T) {
+	if _, err := Compare([]byte{0}, []byte{0, 1}); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+}
+
+func TestCompareEmptyRates(t *testing.T) {
+	b, err := Compare(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rate() != 0 || b.RateZeroToOne() != 0 || b.RateOneToZero() != 0 {
+		t.Fatal("empty comparison should have zero rates")
+	}
+}
+
+// Property: the two directional counts always sum to the total error count.
+func TestCompareCountsSum(t *testing.T) {
+	f := func(sent, recv []byte) bool {
+		n := len(sent)
+		if len(recv) < n {
+			n = len(recv)
+		}
+		s, r := sent[:n], recv[:n]
+		for i := 0; i < n; i++ {
+			s[i] &= 1
+			r[i] &= 1
+		}
+		b, err := Compare(s, r)
+		return err == nil && b.ZeroToOne+b.OneToZero == b.Errors && b.Errors <= b.Total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBursts(t *testing.T) {
+	sent := []byte{0, 0, 0, 0, 0, 0, 0, 0, 0}
+	recv := []byte{1, 1, 0, 1, 0, 0, 1, 1, 1}
+	bursts := Bursts(sent, recv)
+	if len(bursts) != 3 || bursts[0] != 3 || bursts[1] != 2 || bursts[2] != 1 {
+		t.Fatalf("bursts = %v", bursts)
+	}
+	if f := SingleBitFraction(bursts); math.Abs(f-1.0/3) > 1e-12 {
+		t.Fatalf("single fraction = %v", f)
+	}
+}
+
+func TestBurstsNoErrors(t *testing.T) {
+	b := Bursts([]byte{0, 1, 0}, []byte{0, 1, 0})
+	if len(b) != 0 {
+		t.Fatalf("bursts = %v", b)
+	}
+	if SingleBitFraction(b) != 1 {
+		t.Fatal("single-bit fraction of no bursts should be 1")
+	}
+}
+
+func TestBurstsTrailingRun(t *testing.T) {
+	b := Bursts([]byte{0, 0}, []byte{1, 1})
+	if len(b) != 1 || b[0] != 2 {
+		t.Fatalf("bursts = %v", b)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []int{-5, 0, 9, 10, 55, 99, 100, 1000} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(0, 1, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(0.5); p < 49 || p > 51 {
+		t.Fatalf("median = %d", p)
+	}
+	if p := h.Percentile(0.0); p != 0 {
+		t.Fatalf("p0 = %d", p)
+	}
+	if p := h.Percentile(0.99); p < 98 {
+		t.Fatalf("p99 = %d", p)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 2, 50)
+	for i := 0; i < 1000; i++ {
+		h.Add(50)
+	}
+	if m := h.Mean(); math.Abs(m-51) > 1.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Mean() != 0 {
+		t.Fatal("empty histogram mean should be 0")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram shape did not panic")
+		}
+	}()
+	NewHistogram(0, 0, 10)
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 1801, Margin: 3, N: 5}
+	if got := s.String(); got == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Fatal("degenerate entropies should be 0")
+	}
+	if h := BinaryEntropy(0.5); math.Abs(h-1) > 1e-12 {
+		t.Fatalf("H(0.5) = %v", h)
+	}
+	if h := BinaryEntropy(0.11); math.Abs(h-0.499916) > 1e-5 {
+		t.Fatalf("H(0.11) = %v", h)
+	}
+	// Symmetry.
+	if math.Abs(BinaryEntropy(0.3)-BinaryEntropy(0.7)) > 1e-12 {
+		t.Fatal("entropy not symmetric")
+	}
+}
+
+func TestBSCCapacity(t *testing.T) {
+	if c := BSCCapacity(0); c != 1 {
+		t.Fatalf("C(0) = %v", c)
+	}
+	if c := BSCCapacity(0.5); math.Abs(c) > 1e-12 {
+		t.Fatalf("C(0.5) = %v", c)
+	}
+	// The paper's channel: 0.37% errors cost only ~3.6% capacity.
+	if c := BSCCapacity(0.0037); c < 0.96 || c > 0.97 {
+		t.Fatalf("C(0.0037) = %v", c)
+	}
+	// Symmetric and clamped.
+	if math.Abs(BSCCapacity(0.9)-BSCCapacity(0.1)) > 1e-12 {
+		t.Fatal("capacity not symmetric")
+	}
+	if BSCCapacity(-0.1) != 1 {
+		t.Fatal("negative p not clamped")
+	}
+}
+
+func TestDirectionalBursts(t *testing.T) {
+	//            0->1 burst of 2   1->0 single   mixed adjacency
+	sent := []byte{0, 0, 1, 1, 1, 0, 1, 0}
+	recv := []byte{1, 1, 1, 0, 1, 0, 0, 1}
+	zo, oz := DirectionalBursts(sent, recv)
+	// 0->1 errors at positions 0,1 (burst of 2) and 7 (single).
+	if len(zo) != 2 || zo[0] != 2 || zo[1] != 1 {
+		t.Fatalf("0->1 bursts = %v", zo)
+	}
+	// 1->0 errors at positions 3 and 6: two singles.
+	if len(oz) != 2 || oz[0] != 1 || oz[1] != 1 {
+		t.Fatalf("1->0 bursts = %v", oz)
+	}
+}
+
+func TestDirectionalBurstsClean(t *testing.T) {
+	s := []byte{0, 1, 0, 1}
+	zo, oz := DirectionalBursts(s, s)
+	if len(zo) != 0 || len(oz) != 0 {
+		t.Fatal("clean streams produced bursts")
+	}
+}

@@ -1,0 +1,131 @@
+// Package syncch implements the low-bandwidth covert channel used for the
+// coarse-grained synchronization of Section 3.4.2: once per epoch the
+// receiver signals the sender over a classic Flush+Reload channel on a
+// dedicated shared address, permitting the sender to resume.
+//
+// The channel is built on the same simulated hierarchy as the main
+// channel: the receiver signals by loading the sync line (installing it in
+// the LLC); the sender polls with reload-then-reset, decoding a hit as the
+// signal. On platforms without unprivileged flushes (ARM, Section 2.3.2)
+// the reset is performed by walking an eviction set that conflicts with
+// the sync line — the whole protocol stays flushless there. Because
+// synchronization happens once in hundreds of thousands of bits, its cost
+// is negligible either way.
+package syncch
+
+import (
+	"fmt"
+
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+)
+
+// Channel is one synchronization channel on a single shared line.
+type Channel struct {
+	h    *hier.Hierarchy
+	addr mem.Addr
+	// evict is the eviction set used to reset the line on flushless
+	// platforms (nil when clflush is available).
+	evict []mem.Addr
+	// PollWait is the idle time the sender inserts between polls, in
+	// cycles.
+	PollWait uint64
+	// Confirmations is how many consecutive sub-threshold reloads a poll
+	// needs before decoding a signal. One fast outlier from the DRAM
+	// latency tail must not release the sender early, so the default
+	// requires two.
+	Confirmations int
+	hitStreak     int
+
+	// Stats
+	Signals uint64
+	Polls   uint64
+}
+
+// RegionBytes returns the shared-region size New needs on machine m: one
+// page when clflush is available, or enough same-set conflicting lines to
+// evict the sync line by contention otherwise.
+func RegionBytes(h *hier.Hierarchy) int {
+	m := h.Machine()
+	if !m.NoUnprivilegedFlush {
+		return m.PageSize
+	}
+	setStride := m.LLC.Sets() * m.LLC.LineBytes
+	return setStride*(2*m.LLC.Ways) + m.PageSize
+}
+
+// New creates a channel on the first line of reg. On flushless platforms
+// reg must be at least RegionBytes large so an eviction set can be carved
+// from it; New returns an error otherwise.
+func New(h *hier.Hierarchy, reg mem.Region) (*Channel, error) {
+	c := &Channel{h: h, addr: reg.Base, PollWait: 2000, Confirmations: 2}
+	m := h.Machine()
+	if m.NoUnprivilegedFlush {
+		if need := RegionBytes(h); reg.Size < need {
+			return nil, fmt.Errorf("syncch: flushless platform needs a %d-byte region, got %d", need, reg.Size)
+		}
+		setStride := m.LLC.Sets() * m.LLC.LineBytes
+		for k := 1; k <= 2*m.LLC.Ways; k++ {
+			c.evict = append(c.evict, reg.Base+mem.Addr(k*setStride))
+		}
+	}
+	return c, nil
+}
+
+// Signal is executed by the signalling side (the receiver of the main
+// channel): it loads the sync line so the next poll observes a hit. It
+// returns the cycles consumed.
+func (c *Channel) Signal(core int, now uint64) uint64 {
+	c.Signals++
+	r := c.h.Access(core, c.addr, now)
+	return uint64(r.Latency)
+}
+
+// reset removes the sync line so only a fresh Signal re-installs it: a
+// clflush where available, an eviction-set walk otherwise.
+func (c *Channel) reset(core int, now uint64) uint64 {
+	if c.evict == nil {
+		lat, _ := c.h.Flush(core, c.addr)
+		return uint64(lat)
+	}
+	var cost uint64
+	mlp := uint64(c.h.Machine().MLP)
+	for _, a := range c.evict {
+		r := c.h.Access(core, a, now+cost)
+		cost += uint64(r.Latency)/mlp + 4
+	}
+	// The private copy in this core's L1/L2 is not evicted by LLC
+	// conflicts alone on a non-inclusive path; the poller reads through
+	// fresh lines, so drop the private copy explicitly (self-eviction
+	// through the L1/L2 sets happens naturally on real hardware because
+	// the eviction set also maps there).
+	c.h.InvalidatePrivate(core, c.addr)
+	return cost
+}
+
+// Poll is executed by the waiting side (the main-channel sender): it
+// reloads the sync line, decodes a sub-threshold latency as "signalled",
+// and resets the line to re-arm the channel. It returns the decoded signal
+// and the cycles consumed (including the inter-poll wait).
+func (c *Channel) Poll(core int, now uint64) (signalled bool, cost uint64) {
+	c.Polls++
+	m := c.h.Machine()
+	r := c.h.Access(core, c.addr, now)
+	cost = uint64(r.Latency) + uint64(2*m.Lat.TimerOverhead)
+	cost += c.reset(core, now+cost)
+	cost += c.PollWait
+	// The reload is a hit only if the signaller re-installed the line
+	// since the previous poll's reset. Require a streak of hits so a
+	// single fast-tail DRAM access cannot fake a signal (the signaller
+	// repeats its signal, so real signals confirm immediately).
+	if r.Latency <= m.Lat.Threshold {
+		c.hitStreak++
+	} else {
+		c.hitStreak = 0
+	}
+	if c.hitStreak >= c.Confirmations {
+		c.hitStreak = 0
+		return true, cost
+	}
+	return false, cost
+}

@@ -1,0 +1,175 @@
+package syncch
+
+import (
+	"testing"
+
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/params"
+)
+
+func setup(t *testing.T) (*hier.Hierarchy, *Channel) {
+	t.Helper()
+	return setupOn(t, params.SkylakeE3())
+}
+
+func setupOn(t *testing.T, m *params.Machine) (*hier.Hierarchy, *Channel) {
+	t.Helper()
+	h, err := hier.New(m, hier.Options{DisablePrefetch: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alloc mem.Allocator
+	r := alloc.Alloc(RegionBytes(h))
+	c, err := New(h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, c
+}
+
+func TestPollWithoutSignalIsQuiet(t *testing.T) {
+	_, c := setup(t)
+	now := uint64(0)
+	for i := 0; i < 100; i++ {
+		sig, cost := c.Poll(0, now)
+		if sig {
+			t.Fatalf("poll %d decoded a signal nobody sent", i)
+		}
+		now += cost
+	}
+}
+
+// signalUntilPolled models the signaller's burst: it re-signals between
+// polls until the poller confirms, returning the number of polls needed.
+func signalUntilPolled(t *testing.T, c *Channel, now uint64) (uint64, int) {
+	t.Helper()
+	for polls := 1; polls <= 10; polls++ {
+		now += c.Signal(1, now)
+		sig, cost := c.Poll(0, now)
+		now += cost
+		if sig {
+			return now, polls
+		}
+	}
+	t.Fatal("signal never confirmed within 10 polls")
+	return now, 0
+}
+
+func TestSignalBurstConfirms(t *testing.T) {
+	_, c := setup(t)
+	now := uint64(0)
+	// Arm: one quiet poll leaves the line flushed.
+	_, cost := c.Poll(0, now)
+	now += cost
+	now, polls := signalUntilPolled(t, c, now)
+	if polls < c.Confirmations {
+		t.Fatalf("confirmed after %d polls, below the %d-hit requirement", polls, c.Confirmations)
+	}
+	// Channel re-arms itself: subsequent polls without signals are quiet.
+	for i := 0; i < 5; i++ {
+		sig, cost := c.Poll(0, now)
+		if sig {
+			t.Fatal("signal not consumed")
+		}
+		now += cost
+	}
+}
+
+func TestRepeatedRounds(t *testing.T) {
+	_, c := setup(t)
+	now := uint64(0)
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 3; i++ {
+			sig, cost := c.Poll(0, now)
+			if sig {
+				t.Fatalf("round %d: spurious signal", round)
+			}
+			now += cost
+		}
+		now, _ = signalUntilPolled(t, c, now)
+	}
+}
+
+func TestSingleHitDoesNotConfirm(t *testing.T) {
+	_, c := setup(t)
+	now := uint64(0)
+	_, cost := c.Poll(0, now) // arm
+	now += cost
+	// One signal, then silence: the first poll hits (streak 1) and
+	// flushes; with nobody re-signalling, no confirmation may happen.
+	now += c.Signal(1, now)
+	for i := 0; i < 5; i++ {
+		sig, cost := c.Poll(0, now)
+		if sig {
+			t.Fatal("single unconfirmed hit released the poller")
+		}
+		now += cost
+	}
+}
+
+func TestPollCostIncludesWait(t *testing.T) {
+	_, c := setup(t)
+	c.PollWait = 5000
+	_, cost := c.Poll(0, 0)
+	if cost < 5000 {
+		t.Fatalf("poll cost %d below configured wait", cost)
+	}
+}
+
+func TestConfirmationsOneBehavesLikeClassicFR(t *testing.T) {
+	_, c := setup(t)
+	c.Confirmations = 1
+	now := uint64(0)
+	_, cost := c.Poll(0, now)
+	now += cost
+	now += c.Signal(1, now)
+	sig, _ := c.Poll(0, now)
+	if !sig {
+		t.Fatal("single-confirmation poll missed the signal")
+	}
+}
+
+func TestFlushlessPlatformRoundTrip(t *testing.T) {
+	// On ARM (no unprivileged clflush) the channel resets by walking an
+	// eviction set; the protocol must still work end to end.
+	_, c := setupOn(t, params.ARMCortexA72())
+	if c.evict == nil {
+		t.Fatal("flushless platform did not build an eviction set")
+	}
+	now := uint64(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			sig, cost := c.Poll(0, now)
+			if sig {
+				t.Fatalf("round %d: spurious signal", round)
+			}
+			now += cost
+		}
+		now, _ = signalUntilPolled(t, c, now)
+	}
+}
+
+func TestFlushlessNeedsLargeRegion(t *testing.T) {
+	m := params.ARMCortexA72()
+	h, err := hier.New(m, hier.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alloc mem.Allocator
+	r := alloc.Alloc(4096)
+	if _, err := New(h, r); err == nil {
+		t.Fatal("small region accepted on flushless platform")
+	}
+}
+
+func TestRegionBytes(t *testing.T) {
+	hx, _ := hier.New(params.SkylakeE3(), hier.Options{Seed: 1})
+	if RegionBytes(hx) != 4096 {
+		t.Fatalf("x86 region bytes = %d", RegionBytes(hx))
+	}
+	ha, _ := hier.New(params.ARMCortexA72(), hier.Options{Seed: 1})
+	if RegionBytes(ha) <= 4096 {
+		t.Fatal("ARM region bytes should cover an eviction set")
+	}
+}

@@ -1,0 +1,133 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamline/internal/mem"
+)
+
+func TestNewValidates(t *testing.T) {
+	bad := []Config{
+		{PageBytes: 3000, L1Entries: 64, L1Ways: 4, L2Entries: 1536, L2Ways: 12},
+		{PageBytes: 4096, L1Entries: 0, L1Ways: 4, L2Entries: 1536, L2Ways: 12},
+		{PageBytes: 4096, L1Entries: 60, L1Ways: 4, L2Entries: 1536, L2Ways: 12}, // 15 sets
+		{PageBytes: 4096, L1Entries: 64, L1Ways: 3, L2Entries: 1536, L2Ways: 12}, // not divisible
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(Skylake4K()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Skylake2M()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstAccessWalksThenHits(t *testing.T) {
+	tl, err := New(Skylake4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mem.Addr(5 * 4096)
+	if p := tl.Penalty(a); p != 90 {
+		t.Fatalf("cold access penalty %d, want a full walk", p)
+	}
+	if p := tl.Penalty(a + 64); p != 0 {
+		t.Fatalf("same-page access penalty %d, want 0", p)
+	}
+	if tl.Walks != 1 || tl.Accesses != 2 {
+		t.Fatalf("stats: %d walks, %d accesses", tl.Walks, tl.Accesses)
+	}
+}
+
+func TestSTLBCatchesL1Overflow(t *testing.T) {
+	tl, err := New(Skylake4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch 256 pages: far beyond the 64-entry L1, within the 1536 STLB.
+	for i := 0; i < 256; i++ {
+		tl.Penalty(mem.Addr(i * 4096))
+	}
+	// Revisit: L1 misses, STLB hits.
+	p := tl.Penalty(mem.Addr(0))
+	if p != 9 {
+		t.Fatalf("revisit penalty %d, want the STLB penalty", p)
+	}
+}
+
+func TestWalksWhenBothOverflow(t *testing.T) {
+	tl, err := New(Skylake4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16384 pages (the 64 MB array with 4 KB pages) overflow both levels.
+	for i := 0; i < 16384; i++ {
+		tl.Penalty(mem.Addr(i * 4096))
+	}
+	if p := tl.Penalty(mem.Addr(0)); p != 90 {
+		t.Fatalf("wraparound penalty %d, want a walk", p)
+	}
+}
+
+func TestHugePagesEliminateWalks(t *testing.T) {
+	tl, err := New(Skylake2M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk a 64 MB array line by line: 32 huge pages, so after the 32
+	// cold walks everything hits.
+	for off := 0; off < 64<<20; off += 4096 {
+		tl.Penalty(mem.Addr(off))
+	}
+	if tl.Walks > 32 {
+		t.Fatalf("%d walks with huge pages, want <= 32", tl.Walks)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	cfg := Config{PageBytes: 4096, L1Entries: 4, L1Ways: 2, L2Entries: 8, L2Ways: 2,
+		L2HitPenalty: 9, WalkPenalty: 90}
+	tl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pages 0, 2, 4 map to L1 set 0 (2 sets). Touch 0, 2; re-touch 0;
+	// insert 4 -> must evict 2, not 0.
+	tl.Penalty(mem.Addr(0 * 4096))
+	tl.Penalty(mem.Addr(2 * 4096))
+	tl.Penalty(mem.Addr(0 * 4096))
+	tl.Penalty(mem.Addr(4 * 4096))
+	if p := tl.Penalty(mem.Addr(0 * 4096)); p != 0 {
+		t.Fatalf("recently used page evicted (penalty %d)", p)
+	}
+}
+
+// Property: the penalty is always one of {0, STLB penalty, walk}, and a
+// page touched twice in a row is always free the second time.
+func TestPenaltyProperties(t *testing.T) {
+	tl, err := New(Skylake4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pages []uint16) bool {
+		for _, p := range pages {
+			a := mem.Addr(uint64(p) * 4096)
+			pen := tl.Penalty(a)
+			if pen != 0 && pen != 9 && pen != 90 {
+				return false
+			}
+			if tl.Penalty(a+128) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

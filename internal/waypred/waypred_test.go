@@ -1,0 +1,146 @@
+package waypred
+
+import (
+	"testing"
+
+	"streamline/internal/mem"
+)
+
+func quiet() Config {
+	cfg := DefaultConfig()
+	cfg.JitterSD = 0
+	cfg.MispredictNoise = 0
+	return cfg
+}
+
+func TestNewPanicsOnBadSets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Sets = 3
+	New(cfg, 1)
+}
+
+func TestRepeatAccessIsFast(t *testing.T) {
+	p := New(quiet(), 1)
+	a := mem.Addr(0x10000)
+	if lat := p.Access(a); lat != p.cfg.MissLatency {
+		t.Fatalf("first access latency %d, want slow %d", lat, p.cfg.MissLatency)
+	}
+	if lat := p.Access(a); lat != p.cfg.HitLatency {
+		t.Fatalf("repeat access latency %d, want fast %d", lat, p.cfg.HitLatency)
+	}
+}
+
+func TestCollisionTakesAway(t *testing.T) {
+	p := New(quiet(), 1)
+	a := mem.Addr(0x10000)
+	b := p.FindCollision(a, 0x4000000)
+	if !p.Collide(a, b) {
+		t.Fatal("FindCollision returned a non-colliding address")
+	}
+	p.Access(a)
+	p.Access(a) // fast now
+	p.Access(b) // takes the entry away
+	if lat := p.Access(a); lat != p.cfg.MissLatency {
+		t.Fatalf("post-collision access latency %d, want slow", lat)
+	}
+}
+
+func TestNonCollidingAddressesCoexist(t *testing.T) {
+	p := New(quiet(), 1)
+	a := mem.Addr(0x10000)
+	c := mem.Addr(0x10040) // different line, different set
+	p.Access(a)
+	p.Access(c)
+	if lat := p.Access(a); lat != p.cfg.HitLatency {
+		t.Fatalf("unrelated access disturbed the entry: latency %d", lat)
+	}
+}
+
+func TestSameLineDoesNotCollide(t *testing.T) {
+	p := New(quiet(), 1)
+	a := mem.Addr(0x10000)
+	if p.Collide(a, a+8) {
+		t.Fatal("intra-line addresses reported as colliding")
+	}
+}
+
+func TestCollisionPreservesSet(t *testing.T) {
+	p := New(quiet(), 1)
+	for _, a := range []mem.Addr{0x10000, 0x23440, 0x77780} {
+		b := p.FindCollision(a, 0x8000000)
+		if p.setOf(a) != p.setOf(b) {
+			t.Fatalf("collision for %#x changed set", a)
+		}
+	}
+}
+
+func TestEightyParallelChannels(t *testing.T) {
+	// Take-A-Way runs 80 concurrent channels on distinct sets; entries
+	// must not interfere.
+	p := New(quiet(), 1)
+	var pairs [80][2]mem.Addr
+	for i := range pairs {
+		a := mem.Addr(0x100000 + i*64)
+		pairs[i] = [2]mem.Addr{a, p.FindCollision(a, 0x8000000)}
+	}
+	for i := range pairs {
+		p.Access(pairs[i][0]) // prime
+	}
+	// Sender transmits alternating bits: even channels get conflicts.
+	for i := range pairs {
+		if i%2 == 0 {
+			p.Access(pairs[i][1])
+		}
+	}
+	for i := range pairs {
+		lat := p.Access(pairs[i][0])
+		slow := lat > p.Threshold()
+		if (i%2 == 0) != slow {
+			t.Fatalf("channel %d decoded wrong: lat=%d", i, lat)
+		}
+	}
+}
+
+func TestNoiseProducesMispredicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterSD = 0
+	p := New(cfg, 3)
+	a := mem.Addr(0x10000)
+	p.Access(a)
+	slow := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if p.Access(a) > p.Threshold() {
+			slow++
+		}
+	}
+	rate := float64(slow) / n
+	if rate < cfg.MispredictNoise/2 || rate > cfg.MispredictNoise*2 {
+		t.Fatalf("noise mispredict rate %.4f, want ~%.4f", rate, cfg.MispredictNoise)
+	}
+	if p.Mispredicts == 0 {
+		t.Fatal("mispredict counter never moved")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() []int {
+		p := New(DefaultConfig(), 42)
+		var out []int
+		for i := 0; i < 1000; i++ {
+			out = append(out, p.Access(mem.Addr(0x10000+(i%7)*64)))
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}

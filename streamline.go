@@ -1,0 +1,166 @@
+// Package streamline is a simulation-based reproduction of "Streamline: A
+// Fast, Flushless Cache Covert-Channel Attack by Enabling Asynchronous
+// Collusion" (Saileshwar, Fletcher, Qureshi — ASPLOS 2021).
+//
+// The package provides:
+//
+//   - the Streamline covert channel itself (Run / Send), an asynchronous,
+//     flushless cache channel reaching ~1801 KB/s at ~0.37% bit-error-rate
+//     on the simulated Skylake platform, matching the paper's evaluation;
+//   - the baseline attacks it is compared against (Flush+Reload,
+//     Flush+Flush, Prime+Probe, Thrash+Reload, Take-A-Way) via Baseline;
+//   - the simulated machine models (Skylake, KabyLake, CoffeeLake).
+//
+// Everything runs on a deterministic cycle-level simulator of a multi-core
+// cache hierarchy (set-associative L1/L2/LLC with RRIP-family replacement,
+// Intel-like prefetchers, and a DRAM latency model); see DESIGN.md for the
+// substitution argument and internal/ for the substrate packages. Results
+// are reproducible bit-for-bit from Config.Seed.
+//
+// # Quick start
+//
+//	cfg := streamline.DefaultConfig()
+//	xfer, err := streamline.Send(cfg, []byte("attack at dawn"))
+//	if err != nil { ... }
+//	fmt.Printf("%s (%.0f KB/s, %.2f%% bit errors)\n",
+//		xfer.Received, xfer.Result.BitRateKBps, xfer.Result.Errors.Rate()*100)
+package streamline
+
+import (
+	"fmt"
+
+	"streamline/internal/attacks"
+	"streamline/internal/core"
+	"streamline/internal/experiments"
+	"streamline/internal/params"
+	"streamline/internal/payload"
+)
+
+// Config selects the channel configuration; see core.Config for every
+// knob. DefaultConfig returns the paper's evaluation setup.
+type Config = core.Config
+
+// Result reports a channel run: bit-rate, error breakdown, gap statistics.
+type Result = core.Result
+
+// Machine describes a simulated platform.
+type Machine = params.Machine
+
+// AttackResult reports a baseline attack run.
+type AttackResult = attacks.Result
+
+// Attack is a baseline covert channel; see Baseline.
+type Attack = attacks.Attack
+
+// DefaultConfig returns the paper's default setup: 64 MB shared array,
+// PRNG channel encoding, trailing accesses at lag 5000, rate-limited
+// sender, coarse synchronization every 200000 bits, on the Skylake
+// machine.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run transmits a 0/1 bit vector over the channel and returns the
+// measured Result (bit-rate, error breakdown, gap trace).
+func Run(cfg Config, payloadBits []byte) (*Result, error) {
+	return core.Run(cfg, payloadBits)
+}
+
+// Transfer is the outcome of a byte-level Send.
+type Transfer struct {
+	// Received is the payload as decoded by the receiver (same length as
+	// the input; residual channel errors may flip bits unless ECC fully
+	// corrected them).
+	Received []byte
+	// Result is the underlying channel measurement.
+	Result *Result
+}
+
+// Send transmits data (bytes) over the channel and returns what the
+// receiver decoded. Enable cfg.ECC for (72,64) Hamming protection of the
+// payload. Unless the caller configured one, Send prepends an 8192-bit
+// preamble so the warm-cache startup transient does not corrupt small
+// payloads.
+func Send(cfg Config, data []byte) (*Transfer, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("streamline: empty payload")
+	}
+	if cfg.PreambleBits == 0 {
+		cfg.PreambleBits = 8192
+	}
+	bits := payload.FromBytes(data)
+	res, err := core.Run(cfg, bits)
+	if err != nil {
+		return nil, err
+	}
+	return &Transfer{Received: payload.ToBytes(res.Decoded), Result: res}, nil
+}
+
+// Skylake returns the paper's evaluation platform (Intel Xeon E3-1270 v5).
+func Skylake() *Machine { return params.SkylakeE3() }
+
+// KabyLake returns the Core i7-8700K platform the paper also validated on.
+func KabyLake() *Machine { return params.KabyLakeI7() }
+
+// CoffeeLake returns the Core i5-9400 platform.
+func CoffeeLake() *Machine { return params.CoffeeLakeI5() }
+
+// ARM returns an ARMv8 Cortex-A72-class platform with no unprivileged
+// flush instruction: flush-based attacks are impossible there, Streamline
+// is not (Section 2.3.2). Pair it with ARMConfig.
+func ARM() *Machine { return params.ARMCortexA72() }
+
+// ARMConfig returns Streamline tuned for the ARM platform (smaller shared
+// array, lag, and sync period to match its 2 MB last-level cache).
+func ARMConfig() Config { return experiments.ARMStreamlineConfig() }
+
+// SMTConfig returns the hyper-threaded same-core variant of Section 6:
+// sender and receiver as SMT siblings targeting the shared L2.
+func SMTConfig() Config { return experiments.SMTStreamlineConfig() }
+
+// BaselineNames lists the prior-work attacks available from Baseline, in
+// Table 6 order.
+func BaselineNames() []string {
+	return []string{
+		"take-a-way", "flush+flush", "prime+probe(l1)",
+		"flush+reload", "prime+probe(llc)", "thrash+reload",
+	}
+}
+
+// AsyncPrimeProbe constructs the asynchronous Prime+Probe channel — the
+// future-work direction the paper sketches in Section 5.2, realized here:
+// Streamline's asynchronous self-resetting protocol over set conflicts,
+// removing the shared-memory requirement at ~6x the rate of the
+// synchronous LLC Prime+Probe.
+func AsyncPrimeProbe(seed uint64) (Attack, error) {
+	return attacks.NewAsyncPrimeProbe(seed)
+}
+
+// Baseline constructs one of the paper's comparison attacks by name (see
+// BaselineNames) with its default, paper-matching bit period.
+func Baseline(name string, seed uint64) (Attack, error) {
+	switch name {
+	case "flush+reload":
+		return attacks.NewFlushReload(0, seed)
+	case "flush+flush":
+		return attacks.NewFlushFlush(0, seed)
+	case "prime+probe(llc)":
+		return attacks.NewPrimeProbeLLC(0, seed)
+	case "prime+probe(l1)":
+		return attacks.NewPrimeProbeL1(0, seed)
+	case "take-a-way":
+		return attacks.NewTakeAway(0, 0, seed)
+	case "thrash+reload":
+		return attacks.NewThrashReload(seed)
+	default:
+		return nil, fmt.Errorf("streamline: unknown baseline %q", name)
+	}
+}
+
+// BitsFromBytes unpacks bytes into the 0/1 bit vector Run consumes
+// (LSB-first).
+func BitsFromBytes(data []byte) []byte { return payload.FromBytes(data) }
+
+// BytesFromBits packs a 0/1 bit vector back into bytes (LSB-first).
+func BytesFromBits(bits []byte) []byte { return payload.ToBytes(bits) }
+
+// RandomBits returns n deterministic pseudo-random payload bits.
+func RandomBits(seed uint64, n int) []byte { return payload.Random(seed, n) }

@@ -1,0 +1,182 @@
+package streamline
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSendRoundTripWithECC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ECC = true
+	msg := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
+	xfer, err := Send(cfg, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xfer.Received) != len(msg) {
+		t.Fatalf("received %d bytes, sent %d", len(xfer.Received), len(msg))
+	}
+	// The first ~5000 bits (~700 bytes) carry the warm-cache startup
+	// transient (Figure 9's elevated small-payload error); it is bursty,
+	// so SECDED cannot fully correct it. Steady state must be near-clean.
+	diff := 0
+	const steady = 1000
+	for i := steady; i < len(msg); i++ {
+		if msg[i] != xfer.Received[i] {
+			diff++
+		}
+	}
+	if diff > (len(msg)-steady)/100 {
+		t.Fatalf("%d/%d steady-state bytes corrupted", diff, len(msg)-steady)
+	}
+	if xfer.Result.BitRateKBps < 1400 {
+		t.Fatalf("effective rate %.0f KB/s too low", xfer.Result.BitRateKBps)
+	}
+}
+
+func TestSendRejectsEmpty(t *testing.T) {
+	if _, err := Send(DefaultConfig(), nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestRunMatchesHeadlineNumbers(t *testing.T) {
+	res, err := Run(DefaultConfig(), RandomBits(1, 500000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitRateKBps < 1700 || res.BitRateKBps > 1900 {
+		t.Fatalf("bit-rate %.0f KB/s not near the paper's 1801", res.BitRateKBps)
+	}
+	if res.Errors.Rate() > 0.02 {
+		t.Fatalf("error rate %.4f too high", res.Errors.Rate())
+	}
+}
+
+func TestBitsHelpersRoundTrip(t *testing.T) {
+	data := []byte{0xde, 0xad, 0xbe, 0xef}
+	if !bytes.Equal(BytesFromBits(BitsFromBytes(data)), data) {
+		t.Fatal("bit helpers do not round-trip")
+	}
+}
+
+func TestMachines(t *testing.T) {
+	for _, m := range []*Machine{Skylake(), KabyLake(), CoffeeLake()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestBaselinesConstructAndRun(t *testing.T) {
+	for _, name := range BaselineNames() {
+		a, err := Baseline(name, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != name {
+			t.Errorf("baseline %q reports name %q", name, a.Name())
+		}
+		n := 2000
+		if name == "thrash+reload" {
+			n = 20 // each bit thrashes the whole LLC
+		}
+		res, err := a.Run(RandomBits(2, n))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Bits != n {
+			t.Errorf("%s: bits = %d", name, res.Bits)
+		}
+	}
+}
+
+func TestBaselineUnknown(t *testing.T) {
+	if _, err := Baseline("rowhammer", 1); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestStreamlineBeatsAllBaselines(t *testing.T) {
+	res, err := Run(DefaultConfig(), RandomBits(1, 300000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"take-a-way", "flush+flush", "flush+reload"} {
+		a, err := Baseline(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres, err := a.Run(RandomBits(2, 30000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BitRateKBps < 2.5*bres.BitRateKBps {
+			t.Errorf("streamline (%.0f KB/s) not >=2.5x %s (%.0f KB/s)",
+				res.BitRateKBps, name, bres.BitRateKBps)
+		}
+	}
+}
+
+func TestARMChannel(t *testing.T) {
+	cfg := ARMConfig()
+	res, err := Run(cfg, RandomBits(1, 150000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors.Rate() > 0.03 {
+		t.Fatalf("ARM channel error %.3f", res.Errors.Rate())
+	}
+	if res.BitRateKBps < 500 {
+		t.Fatalf("ARM channel rate %.0f KB/s", res.BitRateKBps)
+	}
+}
+
+func TestARMRefusesFlushAttacks(t *testing.T) {
+	if !ARM().NoUnprivilegedFlush {
+		t.Fatal("ARM machine claims unprivileged flushes")
+	}
+}
+
+func TestSMTChannel(t *testing.T) {
+	cfg := SMTConfig()
+	res, err := Run(cfg, RandomBits(1, 150000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors.Rate() > 0.02 {
+		t.Fatalf("SMT channel error %.3f", res.Errors.Rate())
+	}
+	// No DRAM in the SMT loop: it outruns the cross-core channel.
+	if res.BitRateKBps < 2500 {
+		t.Fatalf("SMT channel rate %.0f KB/s", res.BitRateKBps)
+	}
+}
+
+func TestPartitioningKillsChannel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PartitionWays = 8
+	res, err := Run(cfg, RandomBits(1, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-domain hits are impossible: the receiver sees ~all misses and
+	// the decoded stream is uncorrelated with the payload (~50% errors).
+	if r := res.Errors.Rate(); r < 0.4 {
+		t.Fatalf("partitioned channel error %.3f; expected death", r)
+	}
+}
+
+func TestAsyncPrimeProbeFacade(t *testing.T) {
+	a, err := AsyncPrimeProbe(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run(RandomBits(1, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitRateKBps < 300 || res.Errors.Rate() > 0.01 {
+		t.Fatalf("async P+P: %.0f KB/s @ %.3f%%", res.BitRateKBps, res.Errors.Rate()*100)
+	}
+}

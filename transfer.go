@@ -1,0 +1,130 @@
+package streamline
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+
+	"streamline/internal/core"
+	"streamline/internal/payload"
+)
+
+// ReliableOptions tunes SendReliable's selective-repeat protocol.
+type ReliableOptions struct {
+	// BlockBytes is the retransmission granularity (default 64). Smaller
+	// blocks waste checksum overhead; larger ones retransmit more on each
+	// residual error.
+	BlockBytes int
+	// MaxRounds bounds the number of channel rounds (default 10).
+	MaxRounds int
+}
+
+// ReliableResult reports a SendReliable transfer.
+type ReliableResult struct {
+	// Received is the delivered payload; Exact reports whether it is
+	// bit-exact (it is unless MaxRounds was exhausted).
+	Received []byte
+	Exact    bool
+	// Rounds is the number of channel rounds used.
+	Rounds int
+	// ChannelBits counts every bit that crossed the channel, including
+	// ECC, preambles, and retransmissions.
+	ChannelBits int
+	// Cycles is the total simulated time across rounds.
+	Cycles uint64
+	// GoodputKBps is payload bytes delivered per second of simulated time.
+	GoodputKBps float64
+	// Retransmitted counts blocks that needed more than one round.
+	Retransmitted int
+}
+
+// SendReliable delivers data bit-exactly over the covert channel: each
+// 8-byte packet is ECC-protected in flight, the payload is divided into
+// checksummed blocks, and every round retransmits only the blocks that
+// failed verification (selective-repeat ARQ — the paper notes that bursty
+// eviction errors are "hard to correct without re-transmission",
+// Section 4.3). Block acknowledgements ride the low-bandwidth backward
+// channel the attack already maintains for synchronization.
+//
+// cfg is the per-round channel configuration; ECC is forced on and a
+// default preamble applied as in Send.
+func SendReliable(cfg Config, data []byte, opt ReliableOptions) (*ReliableResult, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("streamline: empty payload")
+	}
+	if opt.BlockBytes <= 0 {
+		opt.BlockBytes = 64
+	}
+	if opt.MaxRounds <= 0 {
+		opt.MaxRounds = 10
+	}
+	cfg.ECC = true
+	if cfg.PreambleBits == 0 {
+		cfg.PreambleBits = 8192
+	}
+
+	nBlocks := (len(data) + opt.BlockBytes - 1) / opt.BlockBytes
+	block := func(id int) []byte {
+		lo := id * opt.BlockBytes
+		hi := lo + opt.BlockBytes
+		if hi > len(data) {
+			hi = len(data)
+		}
+		return data[lo:hi]
+	}
+
+	res := &ReliableResult{Received: make([]byte, len(data))}
+	pending := make([]int, nBlocks)
+	for i := range pending {
+		pending[i] = i
+	}
+	failedOnce := make(map[int]bool)
+	baseSeed := cfg.Seed
+	for res.Rounds = 0; res.Rounds < opt.MaxRounds && len(pending) > 0; res.Rounds++ {
+		buf := make([]byte, 0, len(pending)*opt.BlockBytes)
+		for _, id := range pending {
+			buf = append(buf, block(id)...)
+		}
+		cfg.Seed = baseSeed + uint64(res.Rounds)*0x9e37 // a retry is a fresh run
+		run, err := core.Run(cfg, payload.FromBytes(buf))
+		if err != nil {
+			return nil, err
+		}
+		res.ChannelBits += run.ChannelBits
+		res.Cycles += run.Cycles
+		got := payload.ToBytes(run.Decoded)
+
+		var still []int
+		off := 0
+		for _, id := range pending {
+			want := block(id)
+			chunk := got[off : off+len(want)]
+			off += len(want)
+			if blockSum(chunk) == blockSum(want) {
+				copy(res.Received[id*opt.BlockBytes:], chunk)
+			} else {
+				still = append(still, id)
+				failedOnce[id] = true
+			}
+		}
+		pending = still
+	}
+	res.Retransmitted = len(failedOnce)
+	res.Exact = len(pending) == 0 && bytes.Equal(res.Received, data)
+	if m := cfg.Machine; m != nil && res.Cycles > 0 {
+		secs := float64(res.Cycles) / (float64(m.FreqMHz) * 1e6)
+		res.GoodputKBps = float64(len(data)) / 1024 / secs
+	} else if res.Cycles > 0 {
+		secs := float64(res.Cycles) / 3.9e9
+		res.GoodputKBps = float64(len(data)) / 1024 / secs
+	}
+	return res, nil
+}
+
+// blockSum is the per-block checksum (FNV-1a 32); collisions at 2^-32 are
+// negligible against the channel's error rates.
+func blockSum(b []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(b)
+	return h.Sum32()
+}

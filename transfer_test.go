@@ -1,0 +1,91 @@
+package streamline
+
+import (
+	"bytes"
+	"testing"
+
+	"streamline/internal/rng"
+)
+
+func randomBytes(seed uint64, n int) []byte {
+	x := rng.New(seed)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(x.Uint64())
+	}
+	return b
+}
+
+func TestSendReliableBitExact(t *testing.T) {
+	data := randomBytes(7, 128<<10)
+	res, err := SendReliable(DefaultConfig(), data, ReliableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("not exact after %d rounds", res.Rounds)
+	}
+	if !bytes.Equal(res.Received, data) {
+		t.Fatal("Exact set but data differs")
+	}
+	if res.Rounds < 1 || res.Rounds > 8 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if res.GoodputKBps < 800 {
+		t.Fatalf("goodput %.0f KB/s too low", res.GoodputKBps)
+	}
+	if res.ChannelBits <= len(data)*8 {
+		t.Fatal("channel bits do not include protocol overhead")
+	}
+}
+
+func TestSendReliableRetransmitsUnderNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	// A small array degrades the channel enough to force retransmissions
+	// without killing it.
+	cfg.ArraySize = 16 << 20
+	data := randomBytes(9, 64<<10)
+	res, err := SendReliable(cfg, data, ReliableOptions{MaxRounds: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatalf("not exact after %d rounds", res.Rounds)
+	}
+	if res.Retransmitted == 0 {
+		t.Fatal("expected retransmissions on a degraded channel")
+	}
+}
+
+func TestSendReliableGivesUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PartitionWays = 8 // isolation kills the channel
+	data := randomBytes(11, 4<<10)
+	res, err := SendReliable(cfg, data, ReliableOptions{MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("claimed exact delivery over a dead channel")
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("rounds = %d, want the cap", res.Rounds)
+	}
+}
+
+func TestSendReliableRejectsEmpty(t *testing.T) {
+	if _, err := SendReliable(DefaultConfig(), nil, ReliableOptions{}); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestSendReliableShortPayloadAndOddBlock(t *testing.T) {
+	data := randomBytes(13, 1000) // not a multiple of the block size
+	res, err := SendReliable(DefaultConfig(), data, ReliableOptions{BlockBytes: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || !bytes.Equal(res.Received, data) {
+		t.Fatal("odd-sized payload not delivered exactly")
+	}
+}
