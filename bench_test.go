@@ -1,22 +1,56 @@
 package streamline
 
 import (
+	"fmt"
 	"testing"
 
 	"streamline/internal/core"
 	"streamline/internal/experiments"
 	"streamline/internal/payload"
+	"streamline/internal/runner"
 )
 
 // The experiment benchmarks regenerate each of the paper's tables and
 // figures once per iteration (at smoke-test scale; run `go run ./cmd/sweep
 // -exp <id>` for publication-scale numbers with confidence intervals).
+// Runs fan out across the internal/runner worker pool at GOMAXPROCS;
+// results are bit-identical at any worker count.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Run(id, experiments.Opts{Seed: uint64(i + 1), Quick: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerScaling measures the worker-pool's throughput on a fixed
+// batch of channel runs at several pool sizes. On an N-core machine the
+// expected speedup from workers=1 to workers=N is close to N (the runs are
+// CPU-bound and independent); the decoded results are identical regardless.
+func BenchmarkRunnerScaling(b *testing.B) {
+	const batch = 8
+	specs := make([]runner.Spec, batch)
+	for i := range specs {
+		specs[i] = runner.Spec{Experiment: "bench-scaling", Rep: i}
+	}
+	run := func(spec runner.Spec, seed uint64) (float64, error) {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed
+		res, err := core.Run(cfg, payload.Random(seed^0xbead, 40000))
+		if err != nil {
+			return 0, err
+		}
+		return res.Errors.Rate(), nil
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Execute(specs, run, runner.Options{Root: 1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -8,6 +8,7 @@
 //	streamline -payload 1000000 -ecc -array 32 -sync 50000
 //	streamline -payload 500000 -noise cache -noise stream
 //	streamline -machine kabylake -payload 1000000
+//	streamline -payload 1000000 -runs 5 -workers 4   # repeated runs, 95% CIs
 package main
 
 import (
@@ -22,6 +23,8 @@ import (
 	"streamline/internal/noise"
 	"streamline/internal/params"
 	"streamline/internal/payload"
+	"streamline/internal/runner"
+	"streamline/internal/stats"
 )
 
 type noiseList []string
@@ -51,6 +54,8 @@ func main() {
 		randomFill  = flag.Float64("randomfill", 0, "random-fill defense probability (Section 7)")
 		dump        = flag.String("dump", "", "write a per-bit CSV trace (index,sent,received,level) to this file")
 		camouflage  = flag.Int("camouflage", 0, "adaptive detector camouflage: extra warm loads per bit (Section 7)")
+		runs        = flag.Int("runs", 1, "repeat the transmission with derived seeds and report 95% CIs")
+		workers     = flag.Int("workers", 0, "worker-pool size for -runs > 1 (0 = GOMAXPROCS, 1 = serial)")
 	)
 	var noiseNames noiseList
 	flag.Var(&noiseNames, "noise", "co-running stress-ng kernel (repeatable); see -noise list")
@@ -125,6 +130,18 @@ func main() {
 		cfg.Noise = append(cfg.Noise, k)
 	}
 
+	if *runs > 1 {
+		if *dump != "" || *verbose {
+			fmt.Fprintln(os.Stderr, "-dump and -v require a single run (-runs 1)")
+			os.Exit(2)
+		}
+		if err := multiRun(cfg, *seed, *payloadBits, *runs, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	bits := payload.Random(*seed^0xbead, *payloadBits)
 	res, err := core.Run(cfg, bits)
 	if err != nil {
@@ -162,6 +179,47 @@ func main() {
 		}
 		fmt.Printf("per-bit trace:    %s\n", *dump)
 	}
+}
+
+// multiRun repeats the configured transmission runs times with
+// hierarchically derived seeds, fanned out across the worker pool, and
+// reports mean ± 95% CI for the channel metrics. Results are identical at
+// any worker count.
+func multiRun(cfg core.Config, seed uint64, payloadBits, runs, workers int) error {
+	specs := make([]runner.Spec, runs)
+	for r := range specs {
+		specs[r] = runner.Spec{Experiment: "streamline-cli", Rep: r,
+			Label: fmt.Sprintf("%d bits", payloadBits)}
+	}
+	outs, err := runner.Execute(specs, func(s runner.Spec, runSeed uint64) (*core.Result, error) {
+		c := cfg
+		c.Seed = runSeed
+		return core.Run(c, payload.Random(runSeed^0xbead, payloadBits))
+	}, runner.Options{Root: seed, Workers: workers, Hook: runner.Progress(os.Stderr)})
+	if err != nil {
+		return err
+	}
+
+	var rates, errs, zo, oz, gaps []float64
+	for _, res := range outs {
+		rates = append(rates, res.BitRateKBps)
+		errs = append(errs, res.Errors.Rate()*100)
+		zo = append(zo, res.RawErrors.RateZeroToOne()*100)
+		oz = append(oz, res.RawErrors.RateOneToZero()*100)
+		gaps = append(gaps, float64(res.MaxGap))
+	}
+	ci := func(name, unit string, vals []float64) {
+		s := stats.Summarize(vals)
+		fmt.Printf("%-16s %.3f %s (± %.3f, n=%d)\n", name+":", s.Mean, unit, s.Margin, s.N)
+	}
+	fmt.Printf("machine:          %s\n", cfg.Machine.Name)
+	fmt.Printf("payload:          %d bits x %d runs\n", payloadBits, runs)
+	ci("bit-rate", "KB/s", rates)
+	ci("bit-error-rate", "%", errs)
+	ci("raw 0->1", "%", zo)
+	ci("raw 1->0", "%", oz)
+	ci("max gap", "bits", gaps)
+	return nil
 }
 
 // dumpTrace writes one CSV row per payload bit. The serving-level column is

@@ -1,12 +1,15 @@
 // Command sweep regenerates the paper's tables and figures (the role of
 // the original artifact's run_exp.sh). Each experiment is addressed by the
-// paper's artifact id.
+// paper's artifact id. Runs fan out across a worker pool; results are
+// bit-identical at any worker count (see internal/runner).
 //
 // Examples:
 //
 //	sweep -exp table1
 //	sweep -exp fig9 -runs 5
 //	sweep -exp all
+//	sweep -exp all -workers 8   # fan runs out across 8 workers
+//	sweep -exp all -workers 1   # strictly serial (the reference path)
 //	sweep -exp all -full        # the paper's own payload sizes (hours)
 //	sweep -list
 package main
@@ -22,14 +25,15 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (or 'all')")
-		list  = flag.Bool("list", false, "list experiment ids")
-		seed  = flag.Uint64("seed", 1, "base seed")
-		runs  = flag.Int("runs", 0, "repetitions per data point (0 = default 3; paper uses 5)")
-		full  = flag.Bool("full", false, "paper-scale payload sizes (up to 1e9 bits; hours)")
-		quick = flag.Bool("quick", false, "smoke-test sizes")
-		quiet = flag.Bool("q", false, "suppress progress lines")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		list    = flag.Bool("list", false, "list experiment ids")
+		seed    = flag.Uint64("seed", 1, "base seed (per-run seeds derive from it hierarchically)")
+		runs    = flag.Int("runs", 0, "repetitions per data point (0 = default 3; paper uses 5)")
+		full    = flag.Bool("full", false, "paper-scale payload sizes (up to 1e9 bits; hours)")
+		quick   = flag.Bool("quick", false, "smoke-test sizes")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -43,8 +47,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: sweep -exp <id|all> (see -list)")
 		os.Exit(2)
 	}
+	if *exp != "all" && !experiments.Known(*exp) {
+		fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q (see -list for ids)\n", *exp)
+		os.Exit(2)
+	}
 
-	opts := experiments.Opts{Seed: *seed, Runs: *runs, Full: *full, Quick: *quick}
+	opts := experiments.Opts{Seed: *seed, Runs: *runs, Full: *full, Quick: *quick, Workers: *workers}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -53,6 +61,7 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	total := time.Now()
 	for _, id := range ids {
 		start := time.Now()
 		tab, err := experiments.Run(id, opts)
@@ -68,5 +77,8 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "[%s took %s]\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if !*quiet && *exp == "all" {
+		fmt.Fprintf(os.Stderr, "[all experiments took %s]\n", time.Since(total).Round(time.Millisecond))
 	}
 }

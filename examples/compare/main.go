@@ -6,40 +6,53 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"streamline"
 )
 
 func main() {
-	fmt.Printf("%-20s %-11s %12s %10s\n", "attack", "model", "bit-rate", "errors")
+	if err := run(os.Stdout, 50000, 60, 1000000); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run transmits baselineBits over each baseline channel (thrashBits for
+// thrash+reload, which thrashes the entire LLC per bit) and streamBits
+// over Streamline, printing the Table 6 comparison. Split out from main so
+// the smoke test can drive it with a tiny payload.
+func run(w io.Writer, baselineBits, thrashBits, streamBits int) error {
+	fmt.Fprintf(w, "%-20s %-11s %12s %10s\n", "attack", "model", "bit-rate", "errors")
 
 	for _, name := range streamline.BaselineNames() {
 		a, err := streamline.Baseline(name, 7)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		n := 50000
+		n := baselineBits
 		if name == "thrash+reload" {
-			n = 60 // each bit thrashes the entire LLC
+			n = thrashBits
 		}
 		res, err := a.Run(streamline.RandomBits(1, n))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		rate := fmt.Sprintf("%7.0f KB/s", res.BitRateKBps)
 		if res.BitRateKBps < 1 {
 			rate = fmt.Sprintf("%5.0f bits/s", res.BitRateKBps*8192)
 		}
-		fmt.Printf("%-20s %-11s %12s %9.2f%%\n", a.Name(), a.Model(), rate, res.Errors.Rate()*100)
+		fmt.Fprintf(w, "%-20s %-11s %12s %9.2f%%\n", a.Name(), a.Model(), rate, res.Errors.Rate()*100)
 	}
 
-	res, err := streamline.Run(streamline.DefaultConfig(), streamline.RandomBits(1, 1000000))
+	res, err := streamline.Run(streamline.DefaultConfig(), streamline.RandomBits(1, streamBits))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-20s %-11s %7.0f KB/s %9.2f%%\n",
+	fmt.Fprintf(w, "%-20s %-11s %7.0f KB/s %9.2f%%\n",
 		"streamline (ours)", "cross-core", res.BitRateKBps, res.Errors.Rate()*100)
-	fmt.Println("\nasynchronous, flushless transmission beats every synchronous channel")
-	fmt.Println("by 3x or more (paper Table 6)")
+	fmt.Fprintln(w, "\nasynchronous, flushless transmission beats every synchronous channel")
+	fmt.Fprintln(w, "by 3x or more (paper Table 6)")
+	return nil
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamline"
+)
+
+// TestCompare drives the Table 6 comparison with a tiny payload and checks
+// every implemented channel produced a row.
+func TestCompare(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 4000, 10, 40000); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if got == "" {
+		t.Fatal("no output")
+	}
+	for _, name := range streamline.BaselineNames() {
+		if !strings.Contains(got, name) {
+			t.Errorf("missing row for baseline %q:\n%s", name, got)
+		}
+	}
+	if !strings.Contains(got, "streamline (ours)") {
+		t.Errorf("missing streamline row:\n%s", got)
+	}
+}

@@ -15,7 +15,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"streamline"
@@ -23,8 +25,15 @@ import (
 )
 
 func main() {
-	// Fabricate a 1 MiB secret (compressed-file-like incompressible bytes).
-	const size = 1 << 20
+	if _, err := run(os.Stdout, 1<<20); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run exfiltrates a fabricated size-byte secret and reports the transfer.
+// Split out from main so the smoke test can drive it with a small secret.
+func run(w io.Writer, size int) (*streamline.ReliableResult, error) {
+	// Fabricate the secret (compressed-file-like incompressible bytes).
 	secret := make([]byte, size)
 	x := rng.New(0x5ec4e7)
 	for i := range secret {
@@ -32,23 +41,24 @@ func main() {
 	}
 
 	cfg := streamline.DefaultConfig()
-	fmt.Printf("exfiltrating %d KiB across cores (ECC + selective-repeat ARQ)...\n", size>>10)
+	fmt.Fprintf(w, "exfiltrating %d KiB across cores (ECC + selective-repeat ARQ)...\n", size>>10)
 	wall := time.Now()
 	res, err := streamline.SendReliable(cfg, secret, streamline.ReliableOptions{})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
 	simSecs := float64(res.Cycles) / 3.9e9
-	fmt.Printf("simulated transfer time: %.2f s -> goodput %.0f KB/s\n", simSecs, res.GoodputKBps)
-	fmt.Printf("channel bits sent:       %d (%.1f%% total overhead: ECC + preambles + retransmits)\n",
+	fmt.Fprintf(w, "simulated transfer time: %.2f s -> goodput %.0f KB/s\n", simSecs, res.GoodputKBps)
+	fmt.Fprintf(w, "channel bits sent:       %d (%.1f%% total overhead: ECC + preambles + retransmits)\n",
 		res.ChannelBits, 100*float64(res.ChannelBits-size*8)/float64(size*8))
-	fmt.Printf("rounds:                  %d (%d blocks retransmitted)\n", res.Rounds, res.Retransmitted)
-	fmt.Printf("(host wall time: %s)\n", time.Since(wall).Round(time.Millisecond))
+	fmt.Fprintf(w, "rounds:                  %d (%d blocks retransmitted)\n", res.Rounds, res.Retransmitted)
+	fmt.Fprintf(w, "(host wall time: %s)\n", time.Since(wall).Round(time.Millisecond))
 
 	if res.Exact {
-		fmt.Println("payload recovered bit-exact")
+		fmt.Fprintln(w, "payload recovered bit-exact")
 	} else {
-		log.Fatal("payload not delivered — channel too degraded")
+		return nil, fmt.Errorf("payload not delivered — channel too degraded")
 	}
+	return res, nil
 }

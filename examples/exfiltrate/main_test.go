@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExfiltrate ships a small secret through the reliable pipeline and
+// asserts bit-exact delivery (ECC plus ARQ must leave zero residual
+// errors — run reports Exact or fails).
+func TestExfiltrate(t *testing.T) {
+	var out bytes.Buffer
+	res, err := run(&out, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("payload not recovered bit-exact")
+	}
+	if len(res.Received) != 16<<10 {
+		t.Fatalf("received %d bytes, want %d", len(res.Received), 16<<10)
+	}
+	if res.GoodputKBps <= 0 {
+		t.Errorf("non-positive goodput %v", res.GoodputKBps)
+	}
+}

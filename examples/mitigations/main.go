@@ -9,48 +9,70 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"streamline"
 	"streamline/internal/defense"
 )
 
 func main() {
-	bits := streamline.RandomBits(42, 300000)
+	if err := run(os.Stdout, 300000); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	run := func(name string, mutate func(*streamline.Config)) *streamline.Result {
+// run sends payloadBits under each mitigation and profiles the cores with
+// the performance-counter detector. Split out from main so the smoke test
+// can drive it with a tiny payload.
+func run(w io.Writer, payloadBits int) error {
+	bits := streamline.RandomBits(42, payloadBits)
+
+	send := func(name string, mutate func(*streamline.Config)) (*streamline.Result, error) {
 		cfg := streamline.DefaultConfig()
 		mutate(&cfg)
 		res, err := streamline.Run(cfg, bits)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
-		fmt.Printf("%-28s %6.0f KB/s  %6.2f%% errors\n",
+		fmt.Fprintf(w, "%-28s %6.0f KB/s  %6.2f%% errors\n",
 			name, res.BitRateKBps, res.Errors.Rate()*100)
-		return res
+		return res, nil
 	}
 
-	fmt.Println("== channel under each Section 7 mitigation")
-	base := run("no mitigation", func(*streamline.Config) {})
-	camo := run("adaptive camouflage", func(c *streamline.Config) { c.CamouflageAccesses = 3 })
-	run("random-fill cache (p=0.2)", func(c *streamline.Config) { c.RandomFillProb = 0.2 })
-	run("way partitioning (8+8)", func(c *streamline.Config) { c.PartitionWays = 8 })
+	fmt.Fprintln(w, "== channel under each Section 7 mitigation")
+	base, err := send("no mitigation", func(*streamline.Config) {})
+	if err != nil {
+		return err
+	}
+	camo, err := send("adaptive camouflage", func(c *streamline.Config) { c.CamouflageAccesses = 3 })
+	if err != nil {
+		return err
+	}
+	if _, err := send("random-fill cache (p=0.2)", func(c *streamline.Config) { c.RandomFillProb = 0.2 }); err != nil {
+		return err
+	}
+	if _, err := send("way partitioning (8+8)", func(c *streamline.Config) { c.PartitionWays = 8 }); err != nil {
+		return err
+	}
 
-	fmt.Println("\n== performance-counter detection (HexPADS-style)")
+	fmt.Fprintln(w, "\n== performance-counter detection (HexPADS-style)")
 	det := defense.NewDetector()
-	fmt.Printf("thresholds: >%.1f accesses/kcycle and >%.0f%% LLC miss rate\n",
+	fmt.Fprintf(w, "thresholds: >%.1f accesses/kcycle and >%.0f%% LLC miss rate\n",
 		det.MinAccessesPerKCycle, det.MinLLCMissRate*100)
 	for _, v := range det.Inspect(base.CoreServed, base.Cycles) {
-		fmt.Println(" ", v)
+		fmt.Fprintln(w, " ", v)
 	}
-	fmt.Println("the flagged profile — a fast, miss-heavy streamer — matches any")
-	fmt.Println("memory-streaming application, so the detector cannot single out")
-	fmt.Println("Streamline without drowning in false positives (Section 7)")
+	fmt.Fprintln(w, "the flagged profile — a fast, miss-heavy streamer — matches any")
+	fmt.Fprintln(w, "memory-streaming application, so the detector cannot single out")
+	fmt.Fprintln(w, "Streamline without drowning in false positives (Section 7)")
 
-	fmt.Println("\n== the same detector against the camouflaged attack")
+	fmt.Fprintln(w, "\n== the same detector against the camouflaged attack")
 	for _, v := range det.Inspect(camo.CoreServed, camo.Cycles) {
-		fmt.Println(" ", v)
+		fmt.Fprintln(w, " ", v)
 	}
-	fmt.Println("three extra warm loads per bit dilute the miss ratio below the")
-	fmt.Println("threshold: the adaptive variant trades ~20% bit-rate for invisibility")
+	fmt.Fprintln(w, "three extra warm loads per bit dilute the miss ratio below the")
+	fmt.Fprintln(w, "threshold: the adaptive variant trades ~20% bit-rate for invisibility")
+	return nil
 }

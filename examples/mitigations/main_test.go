@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMitigations drives the defense walkthrough with a tiny payload and
+// checks every mitigation row and both detector sections are reported.
+func TestMitigations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 60000); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"no mitigation",
+		"adaptive camouflage",
+		"random-fill cache (p=0.2)",
+		"way partitioning (8+8)",
+		"performance-counter detection",
+		"the same detector against the camouflaged attack",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in output:\n%s", want, got)
+		}
+	}
+}

@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"streamline"
 	"streamline/internal/noise"
@@ -20,34 +22,40 @@ func main() {
 	kernel := flag.String("kernel", "cache", "stress-ng kernel to co-run (see streamline CLI -noise list)")
 	payloadBits := flag.Int("payload", 500000, "payload size in bits")
 	flag.Parse()
-
-	k, ok := noise.ByName(8<<20, *kernel)
-	if !ok {
-		log.Fatalf("unknown kernel %q", *kernel)
+	if err := run(os.Stdout, *kernel, *payloadBits); err != nil {
+		log.Fatal(err)
 	}
-	bits := streamline.RandomBits(42, *payloadBits)
+}
 
-	fmt.Printf("co-runner: stress-ng %s (footprint %d MB)\n\n", k.Name, k.Footprint>>20)
-	fmt.Printf("%-22s %-12s %-10s %s\n", "configuration", "bit-rate", "errors", "max gap")
+// run sends payloadBits alongside the named stressor at each sync period.
+// Split out from main so the smoke test can drive it.
+func run(w io.Writer, kernel string, payloadBits int) error {
+	k, ok := noise.ByName(8<<20, kernel)
+	if !ok {
+		return fmt.Errorf("unknown kernel %q", kernel)
+	}
+	bits := streamline.RandomBits(42, payloadBits)
+
+	fmt.Fprintf(w, "co-runner: stress-ng %s (footprint %d MB)\n\n", k.Name, k.Footprint>>20)
+	fmt.Fprintf(w, "%-22s %-12s %-10s %s\n", "configuration", "bit-rate", "errors", "max gap")
 	for _, period := range []int{0, 200000, 50000} {
 		cfg := streamline.DefaultConfig()
 		cfg.Noise = []noise.Config{k}
 		name := fmt.Sprintf("sync every %d bits", period)
 		if period == 0 {
 			name = "quiet baseline"
+			cfg.Noise = nil
 		} else {
 			cfg.SyncPeriod = period
 		}
-		if period == 0 {
-			cfg.Noise = nil
-		}
 		res, err := streamline.Run(cfg, bits)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-22s %6.0f KB/s  %7.2f%%  %d bits\n",
+		fmt.Fprintf(w, "%-22s %6.0f KB/s  %7.2f%%  %d bits\n",
 			name, res.BitRateKBps, res.Errors.Rate()*100, res.MaxGap)
 	}
-	fmt.Println("\nshorter sync periods shrink the window in which noise can evict")
-	fmt.Println("sender-installed lines before the receiver reads them (Section 4.7)")
+	fmt.Fprintln(w, "\nshorter sync periods shrink the window in which noise can evict")
+	fmt.Fprintln(w, "sender-installed lines before the receiver reads them (Section 4.7)")
+	return nil
 }

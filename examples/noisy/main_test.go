@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestNoisy drives the noise-resilience walkthrough with a tiny payload.
+func TestNoisy(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "cache", 60000); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"quiet baseline", "sync every 200000 bits", "sync every 50000 bits"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing row %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestNoisyUnknownKernel checks the error path used by the CLI flag.
+func TestNoisyUnknownKernel(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "no-such-kernel", 1000); err == nil {
+		t.Fatal("expected an error for an unknown kernel")
+	}
+}

@@ -6,32 +6,42 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"streamline"
 )
 
 func main() {
+	secret := []byte("exfiltrated: the launch code is 0x5EED-C0FFEE. " +
+		"this message crossed cores through the last-level cache, " +
+		"without a single clflush.")
+	if _, err := run(os.Stdout, secret); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run sends secret over the default ECC-protected channel and reports the
+// transfer. Split out from main so the smoke test can drive it.
+func run(w io.Writer, secret []byte) (*streamline.Transfer, error) {
 	// The paper's default configuration: 64 MB shared array, PRNG channel
 	// encoding, trailing accesses, rate-limited sender, coarse sync every
 	// 200000 bits. ECC wraps the payload in (72,64) Hamming packets.
 	cfg := streamline.DefaultConfig()
 	cfg.ECC = true
 
-	secret := []byte("exfiltrated: the launch code is 0x5EED-C0FFEE. " +
-		"this message crossed cores through the last-level cache, " +
-		"without a single clflush.")
-
 	xfer, err := streamline.Send(cfg, secret)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
-	fmt.Printf("sent     %d bytes\n", len(secret))
-	fmt.Printf("received %q\n", xfer.Received)
+	fmt.Fprintf(w, "sent     %d bytes\n", len(secret))
+	fmt.Fprintf(w, "received %q\n", xfer.Received)
 	res := xfer.Result
-	fmt.Printf("channel: %.0f KB/s effective (%.1f-cycle bit period), %.2f%% residual bit errors\n",
+	fmt.Fprintf(w, "channel: %.0f KB/s effective (%.1f-cycle bit period), %.2f%% residual bit errors\n",
 		res.BitRateKBps, res.BitPeriodCycles(), res.Errors.Rate()*100)
-	fmt.Printf("         %d channel bits, max sender-receiver gap %d bits\n",
+	fmt.Fprintf(w, "         %d channel bits, max sender-receiver gap %d bits\n",
 		res.ChannelBits, res.MaxGap)
+	return xfer, nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstart drives the example end-to-end with a tiny payload and
+// asserts the message survives the channel bit-exact: the (72,64) Hamming
+// code must absorb every raw channel error at this scale.
+func TestQuickstart(t *testing.T) {
+	secret := []byte("tiny smoke-test secret crossing the LLC")
+	var out bytes.Buffer
+	xfer, err := run(&out, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xfer.Received) == 0 {
+		t.Fatal("decoded payload is empty")
+	}
+	if !bytes.Equal(xfer.Received, secret) {
+		t.Errorf("residual errors after ECC:\n got %q\nwant %q", xfer.Received, secret)
+	}
+	if xfer.Result.BitRateKBps <= 0 {
+		t.Errorf("non-positive bit rate %v", xfer.Result.BitRateKBps)
+	}
+	if !strings.Contains(out.String(), "received") {
+		t.Errorf("report output missing; got:\n%s", out.String())
+	}
+}

@@ -6,117 +6,147 @@ import (
 	"streamline/internal/cache"
 	"streamline/internal/core"
 	"streamline/internal/payload"
+	"streamline/internal/rng"
 )
 
-// AblationEncoding contrasts the naive channel encoding with the PRNG
+// planAblationEncoding contrasts the naive channel encoding with the PRNG
 // modulation of Section 3.2 on biased payloads (the Figure 4 vs Figure 5
-// story).
-func AblationEncoding(o Opts) (*Table, error) {
+// story). One single-rep point per (bias, encoding) cell.
+func planAblationEncoding(o Opts) (*Plan, error) {
 	n := 400000
 	if o.Quick {
 		n = 200000
 	}
-	t := &Table{
-		ID:     "ablation-encoding",
-		Title:  "Naive vs PRNG channel encoding on biased payloads",
-		Header: []string{"payload bias (ones)", "naive encoding", "PRNG encoding"},
-		Notes: []string{
-			"naive encoding lets the payload skew sender/receiver rates: many-0s -> receiver overtakes; many-1s -> sender laps the cache",
-		},
+	biases := []float64{0.1, 0.5, 0.9}
+	encodings := []bool{false, true}
+	var points []Point
+	for _, ones := range biases {
+		for _, modulate := range encodings {
+			points = append(points, Point{
+				Label: fmt.Sprintf("ones=%.1f modulate=%v", ones, modulate),
+				Reps:  1,
+				Run: func(rep int, seed uint64) (Out, error) {
+					cfg := core.DefaultConfig()
+					cfg.Modulate = modulate
+					cfg.SyncPeriod = 0
+					cfg.Seed = seed
+					res, err := core.Run(cfg, payload.Biased(seed^0xb1a5, n, ones))
+					if err != nil {
+						return Out{}, err
+					}
+					return Out{Metrics: []float64{res.Errors.Rate() * 100}}, nil
+				},
+			})
+		}
 	}
-	for _, ones := range []float64{0.1, 0.5, 0.9} {
-		row := []string{fmt.Sprintf("%.0f%%", ones*100)}
-		for _, modulate := range []bool{false, true} {
-			cfg := core.DefaultConfig()
-			cfg.Modulate = modulate
-			cfg.SyncPeriod = 0
-			cfg.Seed = o.Seed
-			res, err := core.Run(cfg, payload.Biased(o.Seed, n, ones))
-			if err != nil {
-				return nil, err
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "ablation-encoding",
+				Title:  "Naive vs PRNG channel encoding on biased payloads",
+				Header: []string{"payload bias (ones)", "naive encoding", "PRNG encoding"},
+				Notes: []string{
+					"naive encoding lets the payload skew sender/receiver rates: many-0s -> receiver overtakes; many-1s -> sender laps the cache",
+				},
 			}
-			row = append(row, fmt.Sprintf("%.2f%%", res.Errors.Rate()*100))
-		}
-		t.Rows = append(t.Rows, row)
-		o.progress("ablation-encoding: ones=%.1f done", ones)
-	}
-	return t, nil
+			for bi, ones := range biases {
+				row := []string{fmt.Sprintf("%.0f%%", ones*100)}
+				for ei := range encodings {
+					row = append(row, fmt.Sprintf("%.2f%%", res[bi*2+ei][0].Metrics[0]))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return t, nil
+		},
+	}, nil
 }
 
-// AblationTrailing isolates the replacement-fooling trailing accesses
+// planAblationTrailing isolates the replacement-fooling trailing accesses
 // (Section 3.3.2) at a held gap.
-func AblationTrailing(o Opts) (*Table, error) {
+func planAblationTrailing(o Opts) (*Plan, error) {
 	n := 200000
-	t := &Table{
-		ID:     "ablation-trailing",
-		Title:  "Trailing replacement-fooling accesses on/off at a held 30k-bit gap",
-		Header: []string{"trailing accesses", "0->1 error rate"},
+	lags := []int{5000, 0}
+	var points []Point
+	for _, lag := range lags {
+		points = append(points, Point{
+			Label: fmt.Sprintf("lag=%d", lag),
+			Run: channelRun(func(int, uint64) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.SyncPeriod = 0
+				cfg.GapClamp = 30000
+				cfg.WarmupBytes = 0
+				cfg.TrailingLag = lag
+				return cfg
+			}, n),
+		})
 	}
-	for _, lag := range []int{5000, 0} {
-		_, _, zo, _, err := channelPoint(o, func(int) core.Config {
-			cfg := core.DefaultConfig()
-			cfg.SyncPeriod = 0
-			cfg.GapClamp = 30000
-			cfg.WarmupBytes = 0
-			cfg.TrailingLag = lag
-			return cfg
-		}, n)
-		if err != nil {
-			return nil, err
-		}
-		name := fmt.Sprintf("on (lag %d)", lag)
-		if lag == 0 {
-			name = "off"
-		}
-		t.Rows = append(t.Rows, []string{name, pct(zo)})
-		o.progress("ablation-trailing: lag=%d done", lag)
-	}
-	return t, nil
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "ablation-trailing",
+				Title:  "Trailing replacement-fooling accesses on/off at a held 30k-bit gap",
+				Header: []string{"trailing accesses", "0->1 error rate"},
+			}
+			for i, lag := range lags {
+				name := fmt.Sprintf("on (lag %d)", lag)
+				if lag == 0 {
+					name = "off"
+				}
+				t.Rows = append(t.Rows, []string{name, pct(summarize(res[i], cmZO))})
+			}
+			return t, nil
+		},
+	}, nil
 }
 
-// AblationRateLimit isolates the sender's rdtscp throttle (Section 3.4.1).
-func AblationRateLimit(o Opts) (*Table, error) {
+// planAblationRateLimit isolates the sender's rdtscp throttle
+// (Section 3.4.1).
+func planAblationRateLimit(o Opts) (*Plan, error) {
 	n := 200000
-	t := &Table{
-		ID:     "ablation-ratelimit",
-		Title:  "Sender rate-limiting rdtscp on/off (no synchronization)",
-		Header: []string{"rate limit", "max gap (bits)", "error rate"},
+	limits := []bool{true, false}
+	var points []Point
+	for _, limit := range limits {
+		points = append(points, Point{
+			Label: fmt.Sprintf("ratelimit=%v", limit),
+			Reps:  1,
+			Run: channelRun(func(int, uint64) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.RateLimitSender = limit
+				cfg.SyncPeriod = 0
+				return cfg
+			}, n),
+		})
 	}
-	for _, limit := range []bool{true, false} {
-		cfg := core.DefaultConfig()
-		cfg.RateLimitSender = limit
-		cfg.SyncPeriod = 0
-		cfg.Seed = o.Seed
-		res, err := core.Run(cfg, payload.Random(o.Seed, n))
-		if err != nil {
-			return nil, err
-		}
-		name := "on"
-		if !limit {
-			name = "off"
-		}
-		t.Rows = append(t.Rows, []string{name,
-			fmt.Sprintf("%d", res.MaxGap),
-			fmt.Sprintf("%.2f%%", res.Errors.Rate()*100)})
-		o.progress("ablation-ratelimit: %v done", limit)
-	}
-	return t, nil
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "ablation-ratelimit",
+				Title:  "Sender rate-limiting rdtscp on/off (no synchronization)",
+				Header: []string{"rate limit", "max gap (bits)", "error rate"},
+			}
+			for i, limit := range limits {
+				name := "on"
+				if !limit {
+					name = "off"
+				}
+				t.Rows = append(t.Rows, []string{name,
+					fmt.Sprintf("%.0f", res[i][0].Metrics[cmGap]),
+					fmt.Sprintf("%.2f%%", res[i][0].Metrics[cmErr])})
+			}
+			return t, nil
+		},
+	}, nil
 }
 
-// AblationReplacement sweeps the LLC replacement policy (the Section 7
+// planAblationReplacement sweeps the LLC replacement policy (the Section 7
 // random-replacement mitigation appears as the "random" row).
-func AblationReplacement(o Opts) (*Table, error) {
+func planAblationReplacement(o Opts) (*Plan, error) {
 	n := 400000
 	if o.Quick {
 		n = 200000
-	}
-	t := &Table{
-		ID:     "ablation-replacement",
-		Title:  "Streamline error-rate under different LLC replacement policies",
-		Header: []string{"LLC policy", "error rate"},
-		Notes: []string{
-			"random replacement adds noise but does not break the channel (Section 7)",
-		},
 	}
 	policies := []struct {
 		name string
@@ -129,84 +159,121 @@ func AblationReplacement(o Opts) (*Table, error) {
 		{"lru", func(uint64) cache.Policy { return cache.NewLRU() }},
 		{"random", func(s uint64) cache.Policy { return cache.NewRandom(s) }},
 	}
+	var points []Point
 	for _, p := range policies {
-		_, errPct, _, _, err := channelPoint(o, func(run int) core.Config {
-			cfg := core.DefaultConfig()
-			cfg.LLCPolicy = p.mk(o.Seed + uint64(run))
-			return cfg
-		}, n)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{p.name, pct(errPct)})
-		o.progress("ablation-replacement: %s done", p.name)
+		points = append(points, Point{
+			Label: p.name,
+			Run: channelRun(func(rep int, seed uint64) core.Config {
+				cfg := core.DefaultConfig()
+				// The policy gets its own derived stream so its random
+				// choices stay decorrelated from the simulator's.
+				cfg.LLCPolicy = p.mk(rng.Derive(seed, 1))
+				return cfg
+			}, n),
+		})
 	}
-	return t, nil
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "ablation-replacement",
+				Title:  "Streamline error-rate under different LLC replacement policies",
+				Header: []string{"LLC policy", "error rate"},
+				Notes: []string{
+					"random replacement adds noise but does not break the channel (Section 7)",
+				},
+			}
+			for i, p := range policies {
+				t.Rows = append(t.Rows, []string{p.name, pct(summarize(res[i], cmErr))})
+			}
+			return t, nil
+		},
+	}, nil
 }
 
-// AblationPrefetcher turns the hardware prefetchers off to verify the
+// planAblationPrefetcher turns the hardware prefetchers off to verify the
 // channel does not depend on them (and to quantify the residual stride
 // leak when they are on).
-func AblationPrefetcher(o Opts) (*Table, error) {
+func planAblationPrefetcher(o Opts) (*Plan, error) {
 	n := 400000
 	if o.Quick {
 		n = 200000
 	}
-	t := &Table{
-		ID:     "ablation-prefetcher",
-		Title:  "Streamline error-rate with hardware prefetchers on/off",
-		Header: []string{"prefetchers", "error rate", "raw 1->0"},
+	states := []bool{false, true}
+	var points []Point
+	for _, disable := range states {
+		points = append(points, Point{
+			Label: fmt.Sprintf("disable=%v", disable),
+			Run: channelRun(func(int, uint64) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.DisablePrefetch = disable
+				return cfg
+			}, n),
+		})
 	}
-	for _, disable := range []bool{false, true} {
-		_, errPct, _, oz, err := channelPoint(o, func(int) core.Config {
-			cfg := core.DefaultConfig()
-			cfg.DisablePrefetch = disable
-			return cfg
-		}, n)
-		if err != nil {
-			return nil, err
-		}
-		name := "on"
-		if disable {
-			name = "off"
-		}
-		t.Rows = append(t.Rows, []string{name, pct(errPct), pct(oz)})
-		o.progress("ablation-prefetcher: disable=%v done", disable)
-	}
-	return t, nil
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "ablation-prefetcher",
+				Title:  "Streamline error-rate with hardware prefetchers on/off",
+				Header: []string{"prefetchers", "error rate", "raw 1->0"},
+			}
+			for i, disable := range states {
+				name := "on"
+				if disable {
+					name = "off"
+				}
+				t.Rows = append(t.Rows, []string{name,
+					pct(summarize(res[i], cmErr)), pct(summarize(res[i], cmOZ))})
+			}
+			return t, nil
+		},
+	}, nil
 }
 
-// AblationHugePages demonstrates the methodology requirement of
+// planAblationHugePages demonstrates the methodology requirement of
 // Section 4.1: without transparent huge pages, the 4 KB-page walks ride on
 // the receiver's timed loads and corrupt decoding.
-func AblationHugePages(o Opts) (*Table, error) {
+func planAblationHugePages(o Opts) (*Plan, error) {
 	n := 400000
 	if o.Quick {
 		n = 150000
 	}
-	t := &Table{
-		ID:     "ablation-hugepages",
-		Title:  "Transparent huge pages on/off (the Section 4.1 methodology requirement)",
-		Header: []string{"pages", "bit-rate", "error rate", "raw 0->1"},
-		Notes: []string{
-			"with 4 KB pages a page walk delays the first timed load of every page-visit, reading LLC hits as misses",
+	states := []bool{true, false}
+	var points []Point
+	for _, huge := range states {
+		points = append(points, Point{
+			Label: fmt.Sprintf("huge=%v", huge),
+			Run: channelRun(func(int, uint64) core.Config {
+				cfg := core.DefaultConfig()
+				cfg.HugePages = huge
+				return cfg
+			}, n),
+		})
+	}
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "ablation-hugepages",
+				Title:  "Transparent huge pages on/off (the Section 4.1 methodology requirement)",
+				Header: []string{"pages", "bit-rate", "error rate", "raw 0->1"},
+				Notes: []string{
+					"with 4 KB pages a page walk delays the first timed load of every page-visit, reading LLC hits as misses",
+				},
+			}
+			for i, huge := range states {
+				name := "2 MB huge pages (paper setup)"
+				if !huge {
+					name = "4 KB pages"
+				}
+				t.Rows = append(t.Rows, []string{name,
+					kbps(summarize(res[i], cmRate)),
+					pct(summarize(res[i], cmErr)),
+					pct(summarize(res[i], cmZO))})
+			}
+			return t, nil
 		},
-	}
-	for _, huge := range []bool{true, false} {
-		rate, errPct, zo, _, err := channelPoint(o, func(int) core.Config {
-			cfg := core.DefaultConfig()
-			cfg.HugePages = huge
-			return cfg
-		}, n)
-		if err != nil {
-			return nil, err
-		}
-		name := "2 MB huge pages (paper setup)"
-		if !huge {
-			name = "4 KB pages"
-		}
-		t.Rows = append(t.Rows, []string{name, kbps(rate), pct(errPct), pct(zo)})
-		o.progress("ablation-hugepages: huge=%v done", huge)
-	}
-	return t, nil
+	}, nil
 }

@@ -3,72 +3,58 @@ package experiments
 import (
 	"streamline/internal/attacks"
 	"streamline/internal/core"
-	"streamline/internal/payload"
-	"streamline/internal/stats"
 )
 
-// AsyncPP evaluates the asynchronous Prime+Probe channel — the paper's
-// Section 5.2 future-work direction, realized in internal/attacks: applying
-// Streamline's asynchronous self-resetting protocol to set conflicts,
-// removing the shared-memory requirement.
-func AsyncPP(o Opts) (*Table, error) {
+// planAsyncPP evaluates the asynchronous Prime+Probe channel — the paper's
+// Section 5.2 future-work direction, realized in internal/attacks:
+// applying Streamline's asynchronous self-resetting protocol to set
+// conflicts, removing the shared-memory requirement.
+func planAsyncPP(o Opts) (*Plan, error) {
 	bits := 100000
 	if o.Quick {
 		bits = 40000
 	}
-	t := &Table{
-		ID:     "asyncpp",
-		Title:  "Asynchronous Prime+Probe (Section 5.2 future work) vs its synchronous ancestor and Streamline",
-		Header: []string{"channel", "shared memory?", "bit-rate", "bit-error-rate"},
-		Notes: []string{
-			"the async protocol's probe doubles as the re-prime, so no per-bit reset or synchronization is needed",
+	points := []Point{
+		// Synchronous LLC Prime+Probe.
+		{
+			Label: "prime+probe synchronous",
+			Run: attackRun(func(s uint64) (attacks.Attack, error) {
+				return attacks.NewPrimeProbeLLC(0, s)
+			}, bits/4),
+		},
+		// Asynchronous Prime+Probe.
+		{
+			Label: "prime+probe asynchronous",
+			Run: attackRun(func(s uint64) (attacks.Attack, error) {
+				return attacks.NewAsyncPrimeProbe(s)
+			}, bits),
+		},
+		// Streamline for scale.
+		{
+			Label: "streamline",
+			Run: channelRun(func(int, uint64) core.Config {
+				return core.DefaultConfig()
+			}, bits*4),
 		},
 	}
-	// Synchronous LLC Prime+Probe.
-	{
-		var rates, errs []float64
-		for r := 0; r < o.runs(); r++ {
-			a, err := attacks.NewPrimeProbeLLC(0, o.Seed+uint64(r))
-			if err != nil {
-				return nil, err
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "asyncpp",
+				Title:  "Asynchronous Prime+Probe (Section 5.2 future work) vs its synchronous ancestor and Streamline",
+				Header: []string{"channel", "shared memory?", "bit-rate", "bit-error-rate"},
+				Notes: []string{
+					"the async protocol's probe doubles as the re-prime, so no per-bit reset or synchronization is needed",
+				},
 			}
-			res, err := a.Run(payload.Random(o.Seed+uint64(r), bits/4))
-			if err != nil {
-				return nil, err
-			}
-			rates = append(rates, res.BitRateKBps)
-			errs = append(errs, res.Errors.Rate()*100)
-		}
-		t.Rows = append(t.Rows, []string{"prime+probe(llc), synchronous", "no",
-			kbps(stats.Summarize(rates)), pct(stats.Summarize(errs))})
-		o.progress("asyncpp: synchronous baseline done")
-	}
-	// Asynchronous Prime+Probe.
-	{
-		var rates, errs []float64
-		for r := 0; r < o.runs(); r++ {
-			a, err := attacks.NewAsyncPrimeProbe(o.Seed + uint64(r))
-			if err != nil {
-				return nil, err
-			}
-			res, err := a.Run(payload.Random(o.Seed+uint64(r), bits))
-			if err != nil {
-				return nil, err
-			}
-			rates = append(rates, res.BitRateKBps)
-			errs = append(errs, res.Errors.Rate()*100)
-		}
-		t.Rows = append(t.Rows, []string{"prime+probe, asynchronous (this repo)", "no",
-			kbps(stats.Summarize(rates)), pct(stats.Summarize(errs))})
-		o.progress("asyncpp: asynchronous variant done")
-	}
-	// Streamline for scale.
-	srate, serr, _, _, err := channelPoint(o, func(int) core.Config {
-		return core.DefaultConfig()
-	}, bits*4)
-	if err != nil {
-		return nil, err
-	}
-	t.Rows = append(t.Rows, []string{"streamline", "yes", kbps(srate), pct(serr)})
-	return t, nil
+			t.Rows = append(t.Rows, []string{"prime+probe(llc), synchronous", "no",
+				kbps(summarize(res[0], 0)), pct(summarize(res[0], 1))})
+			t.Rows = append(t.Rows, []string{"prime+probe, asynchronous (this repo)", "no",
+				kbps(summarize(res[1], 0)), pct(summarize(res[1], 1))})
+			t.Rows = append(t.Rows, []string{"streamline", "yes",
+				kbps(summarize(res[2], cmRate)), pct(summarize(res[2], cmErr))})
+			return t, nil
+		},
+	}, nil
 }

@@ -5,11 +5,20 @@
 // size), Table 5 (sync period), Figure 10 (noise), Figure 11 and Table 6
 // (comparison with prior attacks), plus the ablations DESIGN.md calls out.
 //
-// Each experiment returns a Table that cmd/sweep renders as text and the
-// root benchmarks consume for metrics. Experiments accept an Opts that
-// scales payload sizes: the defaults regenerate every artifact in minutes;
-// Full uses the paper's own payload sizes (up to 10^9 bits) and takes
-// hours, exactly like the original artifact's 3-4 hour budget.
+// Each experiment declares a Plan: an ordered list of parameter Points,
+// each with a repetition count and a pure per-run function, plus an
+// Assemble step that turns the collected runs into a Table. Run flattens
+// the plan into (experiment, point, rep) specs and executes them on
+// internal/runner's worker pool — every run's seed is derived
+// hierarchically from Opts.Seed and the spec alone, and results come back
+// in spec order, so a table is bit-identical whether it was computed by
+// one worker or sixteen (the golden conformance tests in golden_test.go
+// pin this down for every experiment id).
+//
+// Experiments accept an Opts that scales payload sizes: the defaults
+// regenerate every artifact in minutes; Full uses the paper's own payload
+// sizes (up to 10^9 bits) and takes hours, exactly like the original
+// artifact's 3-4 hour budget.
 package experiments
 
 import (
@@ -20,12 +29,15 @@ import (
 
 	"streamline/internal/core"
 	"streamline/internal/payload"
+	"streamline/internal/runner"
 	"streamline/internal/stats"
 )
 
-// Opts controls experiment scale and reporting.
+// Opts controls experiment scale, parallelism, and reporting.
 type Opts struct {
-	// Seed is the base seed; repetition r of an experiment uses Seed+r.
+	// Seed is the root seed. Every run's PRNG stream is derived from it
+	// hierarchically (root → experiment id → point → repetition); see
+	// internal/runner.
 	Seed uint64
 	// Runs is the number of repetitions feeding each 95% CI (paper: 5).
 	// 0 selects 3.
@@ -34,8 +46,12 @@ type Opts struct {
 	Full bool
 	// Quick shrinks payloads aggressively for smoke tests and benchmarks.
 	Quick bool
-	// Progress, when non-nil, receives one line per completed data point.
+	// Progress, when non-nil, receives one line per completed run with
+	// its wall time and the sweep completion count.
 	Progress io.Writer
+	// Workers sets the worker-pool size: 0 selects GOMAXPROCS, 1 runs
+	// serially. Results are bit-identical at any value.
+	Workers int
 }
 
 func (o Opts) runs() int {
@@ -46,12 +62,6 @@ func (o Opts) runs() int {
 		return 1
 	}
 	return 3
-}
-
-func (o Opts) progress(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
-	}
 }
 
 // payloadSizes returns the payload ladder for Figure 9 / Table 2.
@@ -140,32 +150,61 @@ func (t *Table) FormatCSV(w io.Writer) {
 	}
 }
 
-// Runner produces one experiment table.
-type Runner func(Opts) (*Table, error)
+// Out is the result of one simulated run: a metric vector whose layout the
+// experiment's Assemble understands, plus an optional opaque payload for
+// trace-style data (gap traces, full channel results).
+type Out struct {
+	Metrics []float64
+	Data    any
+}
 
-// registry maps experiment ids to runners.
-var registry = map[string]Runner{
-	"table1":               Table1,
-	"fig6":                 Fig6,
-	"fig7":                 Fig7,
-	"fig9":                 Fig9,
-	"table2":               Table2,
-	"table3":               Table3,
-	"table4":               Table4,
-	"table5":               Table5,
-	"fig10":                Fig10,
-	"fig11":                Fig11,
-	"table6":               Table6,
-	"ablation-encoding":    AblationEncoding,
-	"ablation-trailing":    AblationTrailing,
-	"ablation-ratelimit":   AblationRateLimit,
-	"ablation-replacement": AblationReplacement,
-	"ablation-prefetcher":  AblationPrefetcher,
-	"universality":         Universality,
-	"smt":                  SMT,
-	"mitigations":          Mitigations,
-	"asyncpp":              AsyncPP,
-	"ablation-hugepages":   AblationHugePages,
+// Point is one parameter point of an experiment's sweep.
+type Point struct {
+	// Label describes the point in progress output.
+	Label string
+	// Reps is the number of repetitions; 0 selects Opts.runs().
+	Reps int
+	// Run executes one repetition. It must be pure: every random choice
+	// derived from seed, no mutation of shared state, so results cannot
+	// depend on worker count or scheduling order.
+	Run func(rep int, seed uint64) (Out, error)
+}
+
+// Plan is an experiment decomposed into independent runs.
+type Plan struct {
+	// Points is the ordered run list.
+	Points []Point
+	// Assemble builds the Table from the collected outputs,
+	// res[point][rep], which arrive in deterministic order.
+	Assemble func(res [][]Out) (*Table, error)
+}
+
+// planner builds an experiment's Plan from Opts.
+type planner func(o Opts) (*Plan, error)
+
+// registry maps experiment ids to planners.
+var registry = map[string]planner{
+	"table1":               planTable1,
+	"fig6":                 planFig6,
+	"fig7":                 planFig7,
+	"fig9":                 planFig9,
+	"table2":               planTable2,
+	"table3":               planTable3,
+	"table4":               planTable4,
+	"table5":               planTable5,
+	"fig10":                planFig10,
+	"fig11":                planFig11,
+	"table6":               planTable6,
+	"ablation-encoding":    planAblationEncoding,
+	"ablation-trailing":    planAblationTrailing,
+	"ablation-ratelimit":   planAblationRateLimit,
+	"ablation-replacement": planAblationReplacement,
+	"ablation-prefetcher":  planAblationPrefetcher,
+	"universality":         planUniversality,
+	"smt":                  planSMT,
+	"mitigations":          planMitigations,
+	"asyncpp":              planAsyncPP,
+	"ablation-hugepages":   planAblationHugePages,
 }
 
 // IDs returns all experiment ids in stable order.
@@ -178,35 +217,98 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment with the given id.
+// Known reports whether id names an experiment.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
+// Run executes the experiment with the given id on the worker pool.
 func Run(id string, o Opts) (*Table, error) {
-	r, ok := registry[id]
+	p, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))
 	}
-	return r(o)
+	plan, err := p(o)
+	if err != nil {
+		return nil, err
+	}
+	return plan.execute(id, o)
 }
 
-// channelPoint runs the channel o.runs() times with varied seeds and
-// returns summaries of (payload bit-rate KB/s, payload error %, raw 0→1 %,
-// raw 1→0 %).
-func channelPoint(o Opts, mk func(run int) core.Config, bits int) (rate, errPct, zo, oz stats.Summary, err error) {
-	var rates, errs, zos, ozs []float64
-	for r := 0; r < o.runs(); r++ {
-		cfg := mk(r)
-		cfg.Seed = o.Seed + uint64(r)*7919
-		res, e := core.Run(cfg, payload.Random(cfg.Seed^0xbead, bits))
-		if e != nil {
-			err = e
-			return
+// execute flattens the plan into specs, fans them out on the runner, and
+// regroups the outputs per point for Assemble.
+func (plan *Plan) execute(id string, o Opts) (*Table, error) {
+	var specs []runner.Spec
+	for pi := range plan.Points {
+		pt := &plan.Points[pi]
+		if pt.Reps <= 0 {
+			pt.Reps = o.runs()
 		}
-		rates = append(rates, res.BitRateKBps)
-		errs = append(errs, res.Errors.Rate()*100)
-		zos = append(zos, res.RawErrors.RateZeroToOne()*100)
-		ozs = append(ozs, res.RawErrors.RateOneToZero()*100)
+		for r := 0; r < pt.Reps; r++ {
+			specs = append(specs, runner.Spec{
+				Experiment: id, Point: pi, Rep: r, Label: pt.Label,
+			})
+		}
 	}
-	return stats.Summarize(rates), stats.Summarize(errs), stats.Summarize(zos), stats.Summarize(ozs), nil
+	var hook runner.Hook
+	if o.Progress != nil {
+		hook = runner.Progress(o.Progress)
+	}
+	outs, err := runner.Execute(specs, func(s runner.Spec, seed uint64) (Out, error) {
+		return plan.Points[s.Point].Run(s.Rep, seed)
+	}, runner.Options{Root: o.Seed, Workers: o.Workers, Hook: hook})
+	if err != nil {
+		return nil, err
+	}
+	res := make([][]Out, len(plan.Points))
+	i := 0
+	for pi := range plan.Points {
+		res[pi] = outs[i : i+plan.Points[pi].Reps]
+		i += plan.Points[pi].Reps
+	}
+	return plan.Assemble(res)
+}
+
+// Metric indexes of the vector produced by channelRun.
+const (
+	cmRate = iota // payload bit-rate, KB/s
+	cmErr         // payload bit-error rate, percent
+	cmZO          // raw 0->1 error rate, percent
+	cmOZ          // raw 1->0 error rate, percent
+	cmGap         // max sender-receiver gap, bits
+)
+
+// channelRun returns a pure per-run function that executes the channel
+// once with mk's config and a seed-derived payload, reporting the standard
+// channel metrics (see the cm* indexes).
+func channelRun(mk func(rep int, seed uint64) core.Config, bits int) func(int, uint64) (Out, error) {
+	return func(rep int, seed uint64) (Out, error) {
+		cfg := mk(rep, seed)
+		cfg.Seed = seed
+		res, err := core.Run(cfg, payload.Random(seed^0xbead, bits))
+		if err != nil {
+			return Out{}, err
+		}
+		return Out{Metrics: []float64{
+			res.BitRateKBps,
+			res.Errors.Rate() * 100,
+			res.RawErrors.RateZeroToOne() * 100,
+			res.RawErrors.RateOneToZero() * 100,
+			float64(res.MaxGap),
+		}}, nil
+	}
+}
+
+// summarize computes the 95%-CI summary of one metric across a point's
+// repetitions.
+func summarize(outs []Out, metric int) stats.Summary {
+	vals := make([]float64, len(outs))
+	for i, o := range outs {
+		vals[i] = o.Metrics[metric]
+	}
+	return stats.Summarize(vals)
 }
 
 func pct(s stats.Summary) string {

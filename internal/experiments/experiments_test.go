@@ -9,6 +9,33 @@ import (
 
 func quick() Opts { return Opts{Seed: 11, Quick: true} }
 
+// skipHeavyUnderRace skips the full-experiment statistical tests when the
+// binary is built with -race: the detector's ~10x slowdown on these
+// compute-bound channel simulations blows the package test timeout
+// without exercising any new interleavings. TestRaceSmoke keeps the
+// parallel execution path itself race-covered.
+func skipHeavyUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("heavy statistical test skipped under -race (TestRaceSmoke covers the parallel path)")
+	}
+}
+
+// TestRaceSmoke drives a full experiment through an 8-worker pool. Cheap
+// enough to run under -race, it is the conformance point the heavy tests
+// defer to for data-race coverage of the fan-out/fan-in path.
+func TestRaceSmoke(t *testing.T) {
+	o := quick()
+	o.Workers = 8
+	tab, err := Run("table1", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("table1 shape %d rows", len(tab.Rows))
+	}
+}
+
 // parsePct parses a "1.23%" or "1.23% (± 0.1%)" cell.
 func parsePct(t *testing.T, cell string) float64 {
 	t.Helper()
@@ -89,6 +116,7 @@ func TestTable1Structure(t *testing.T) {
 }
 
 func TestFig6Ordering(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Fig6(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +136,7 @@ func TestFig6Ordering(t *testing.T) {
 }
 
 func TestFig7GapOrdering(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Fig7(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -123,6 +152,7 @@ func TestFig7GapOrdering(t *testing.T) {
 }
 
 func TestFig9RatesAndTransient(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Fig9(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -141,6 +171,7 @@ func TestFig9RatesAndTransient(t *testing.T) {
 }
 
 func TestTable2DirectionCrossover(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Table2(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -154,6 +185,7 @@ func TestTable2DirectionCrossover(t *testing.T) {
 }
 
 func TestTable3ECC(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Table3(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +202,7 @@ func TestTable3ECC(t *testing.T) {
 }
 
 func TestTable4Monotonic(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Table4(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -187,6 +220,7 @@ func TestTable4Monotonic(t *testing.T) {
 }
 
 func TestTable5SyncPeriods(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Table5(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -207,6 +241,7 @@ func TestTable5SyncPeriods(t *testing.T) {
 }
 
 func TestFig10ShortSyncHelps(t *testing.T) {
+	skipHeavyUnderRace(t)
 	o := quick()
 	tab, err := Fig10(o)
 	if err != nil {
@@ -224,6 +259,7 @@ func TestFig10ShortSyncHelps(t *testing.T) {
 }
 
 func TestFig11Breakdown(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Fig11(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -248,6 +284,7 @@ func TestFig11Breakdown(t *testing.T) {
 }
 
 func TestTable6Ordering(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Table6(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -268,6 +305,7 @@ func TestTable6Ordering(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
+	skipHeavyUnderRace(t)
 	o := quick()
 	for _, id := range []string{"ablation-encoding", "ablation-trailing",
 		"ablation-ratelimit", "ablation-replacement", "ablation-prefetcher"} {
@@ -282,6 +320,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestProgressWriter(t *testing.T) {
+	skipHeavyUnderRace(t)
 	var buf bytes.Buffer
 	o := quick()
 	o.Progress = &buf
@@ -294,6 +333,7 @@ func TestProgressWriter(t *testing.T) {
 }
 
 func TestUniversality(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Universality(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -326,6 +366,7 @@ func TestUniversality(t *testing.T) {
 }
 
 func TestSMTVariant(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := SMT(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -349,6 +390,7 @@ func TestSMTVariant(t *testing.T) {
 }
 
 func TestMitigations(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := Mitigations(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -377,6 +419,7 @@ func TestMitigations(t *testing.T) {
 }
 
 func TestAsyncPP(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := AsyncPP(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -399,6 +442,7 @@ func TestAsyncPP(t *testing.T) {
 }
 
 func TestAblationHugePages(t *testing.T) {
+	skipHeavyUnderRace(t)
 	tab, err := AblationHugePages(quick())
 	if err != nil {
 		t.Fatal(err)

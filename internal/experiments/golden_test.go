@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden conformance suite pins the exact formatted output of every
+// experiment at a fixed seed and smoke-test scale. It guards two
+// properties at once:
+//
+//  1. Reproducibility: the experiment pipeline (seed derivation, channel
+//     simulation, aggregation, formatting) produces bit-identical output
+//     across versions. Any behavioural change — intended or not — shows
+//     up as a golden diff and must be reviewed by regenerating with
+//     -update.
+//  2. Parallel determinism: running the same sweep across an 8-worker
+//     pool reproduces the serial reference byte for byte, proving result
+//     order and seeding are independent of scheduling.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/experiments -run TestGoldenConformance -update
+
+var update = flag.Bool("update", false, "rewrite golden files from the serial (-workers 1) reference run")
+
+const goldenSeed = 42
+
+func goldenOutput(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	tab, err := Run(id, Opts{Seed: goldenSeed, Quick: true, Workers: workers})
+	if err != nil {
+		t.Fatalf("Run(%q, workers=%d): %v", id, workers, err)
+	}
+	var buf bytes.Buffer
+	tab.Format(&buf)
+	return buf.Bytes()
+}
+
+func TestGoldenConformance(t *testing.T) {
+	if raceEnabled {
+		t.Skip("compute-bound golden regeneration exceeds the package timeout under -race; CI runs it in a dedicated race-free job")
+	}
+	for _, id := range IDs() {
+		t.Run(id, func(t *testing.T) {
+			path := filepath.Join("testdata", id+".golden")
+			got := goldenOutput(t, id, 1)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("serial output differs from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+			if testing.Short() {
+				return
+			}
+			if par := goldenOutput(t, id, 8); !bytes.Equal(par, want) {
+				t.Errorf("workers=8 output differs from the serial golden — parallel execution is not deterministic\n--- got ---\n%s--- want ---\n%s", par, want)
+			}
+		})
+	}
+}

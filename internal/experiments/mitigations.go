@@ -8,128 +8,122 @@ import (
 	"streamline/internal/defense"
 	"streamline/internal/noise"
 	"streamline/internal/payload"
+	"streamline/internal/rng"
 )
 
-// Mitigations evaluates the Section 7 defense strategies against
+// planMitigations evaluates the Section 7 defense strategies against
 // Streamline: performance-counter detection, noise injection (random
 // replacement and random-fill caching), and DAWG-style way partitioning.
-func Mitigations(o Opts) (*Table, error) {
+// Every mitigated channel run is one single-rep point; the full
+// core.Result rides back on Out.Data so Assemble can feed the
+// performance-counter detector.
+func planMitigations(o Opts) (*Plan, error) {
 	bits := 400000
 	if o.Quick {
 		bits = 150000
 	}
-	t := &Table{
-		ID:     "mitigations",
-		Title:  "Section 7 mitigation strategies vs Streamline",
-		Header: []string{"mitigation", "bit-rate", "bit-error-rate", "verdict"},
-		Notes: []string{
-			"paper: detection is non-specific, noise injection degrades but rarely breaks the channel, isolation kills it",
+	// chanRun builds a single-rep point that returns its *core.Result.
+	chanRun := func(label string, sendBits int, mut func(cfg *core.Config, seed uint64)) Point {
+		return Point{
+			Label: label,
+			Reps:  1,
+			Run: func(rep int, seed uint64) (Out, error) {
+				cfg := core.DefaultConfig()
+				cfg.Seed = seed
+				mut(&cfg, seed)
+				res, err := core.Run(cfg, payload.Random(seed^0x3a7, sendBits))
+				if err != nil {
+					return Out{}, err
+				}
+				return Out{Data: res}, nil
+			},
+		}
+	}
+	points := []Point{
+		chanRun("baseline", bits, func(*core.Config, uint64) {}),
+		// A benign streaming app profiled by the same detector: the
+		// stressor core here is a legitimate process, so flagging it is a
+		// false positive.
+		chanRun("benign streamer", bits/2, func(cfg *core.Config, seed uint64) {
+			stream, _ := noise.ByName(8<<20, "stream")
+			cfg.Noise = []noise.Config{stream}
+		}),
+		chanRun("camouflage", bits, func(cfg *core.Config, seed uint64) {
+			cfg.CamouflageAccesses = 3
+		}),
+		chanRun("random replacement", bits, func(cfg *core.Config, seed uint64) {
+			cfg.LLCPolicy = cache.NewRandom(rng.Derive(seed, 1))
+		}),
+		chanRun("random fill p=0.1", bits, func(cfg *core.Config, seed uint64) {
+			cfg.RandomFillProb = 0.1
+		}),
+		chanRun("random fill p=0.5", bits, func(cfg *core.Config, seed uint64) {
+			cfg.RandomFillProb = 0.5
+		}),
+		chanRun("way partitioning", bits, func(cfg *core.Config, seed uint64) {
+			cfg.PartitionWays = 8
+		}),
+	}
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "mitigations",
+				Title:  "Section 7 mitigation strategies vs Streamline",
+				Header: []string{"mitigation", "bit-rate", "bit-error-rate", "verdict"},
+				Notes: []string{
+					"paper: detection is non-specific, noise injection degrades but rarely breaks the channel, isolation kills it",
+				},
+			}
+			result := func(i int) *core.Result { return res[i][0].Data.(*core.Result) }
+			addRow := func(name string, r *core.Result, verdict string) {
+				t.Rows = append(t.Rows, []string{
+					name,
+					fmt.Sprintf("%.0f KB/s", r.BitRateKBps),
+					fmt.Sprintf("%.2f%%", r.Errors.Rate()*100),
+					verdict,
+				})
+			}
+			flagged := func(r *core.Result) int {
+				det := defense.NewDetector()
+				n := 0
+				for _, v := range det.Inspect(r.CoreServed, r.Cycles) {
+					if v.Flagged {
+						n++
+					}
+				}
+				return n
+			}
+
+			base := result(0)
+			addRow("none (baseline)", base, "channel operates")
+
+			// Detection: profile the attack run AND the benign streamer
+			// with the same detector.
+			t.Rows = append(t.Rows, []string{
+				"perf-counter detection", "-", "-",
+				fmt.Sprintf("flags %d attack cores but also %d cores incl. a benign streamer (non-specific)",
+					flagged(base), flagged(result(1))),
+			})
+
+			// Adaptive camouflage (the paper's counter to detection):
+			// extra warm loads dilute the miss ratio below the detector's
+			// threshold.
+			camo := result(2)
+			addRow("adaptive camouflage (3 loads/bit)", camo,
+				fmt.Sprintf("channel operates; detector flags %d cores", flagged(camo)))
+
+			rr := result(3)
+			addRow("random replacement", rr, verdictFor(rr))
+			for i, p := range []float64{0.1, 0.5} {
+				rf := result(4 + i)
+				addRow(fmt.Sprintf("random fill (p=%.1f)", p), rf, verdictFor(rf))
+			}
+			part := result(6)
+			addRow("way partitioning (8+8)", part, verdictFor(part))
+			return t, nil
 		},
-	}
-	runOne := func(mut func(*core.Config)) (*core.Result, error) {
-		cfg := core.DefaultConfig()
-		cfg.Seed = o.Seed
-		mut(&cfg)
-		return core.Run(cfg, payload.Random(o.Seed^0x3a7, bits))
-	}
-	addRow := func(name string, res *core.Result, verdict string) {
-		t.Rows = append(t.Rows, []string{
-			name,
-			fmt.Sprintf("%.0f KB/s", res.BitRateKBps),
-			fmt.Sprintf("%.2f%%", res.Errors.Rate()*100),
-			verdict,
-		})
-	}
-
-	// Baseline.
-	base, err := runOne(func(*core.Config) {})
-	if err != nil {
-		return nil, err
-	}
-	addRow("none (baseline)", base, "channel operates")
-	o.progress("mitigations: baseline done")
-
-	// Detection: profile the attack run AND a benign streaming app with
-	// the same detector.
-	{
-		det := defense.NewDetector()
-		attackVerdicts := det.Inspect(base.CoreServed, base.Cycles)
-		benignCfg := core.DefaultConfig()
-		benignCfg.Seed = o.Seed
-		stream, _ := noise.ByName(8<<20, "stream")
-		benignCfg.Noise = []noise.Config{stream}
-		benign, err := core.Run(benignCfg, payload.Random(o.Seed, bits/2))
-		if err != nil {
-			return nil, err
-		}
-		benignVerdicts := det.Inspect(benign.CoreServed, benign.Cycles)
-		attackFlagged, benignFlagged := 0, 0
-		for _, v := range attackVerdicts {
-			if v.Flagged {
-				attackFlagged++
-			}
-		}
-		// The stressor core in the second run is a *benign* streaming
-		// process; flagging it is a false positive.
-		for _, v := range benignVerdicts {
-			if v.Flagged {
-				benignFlagged++
-			}
-		}
-		t.Rows = append(t.Rows, []string{
-			"perf-counter detection", "-", "-",
-			fmt.Sprintf("flags %d attack cores but also %d cores incl. a benign streamer (non-specific)",
-				attackFlagged, benignFlagged),
-		})
-		o.progress("mitigations: detection done")
-	}
-
-	// Adaptive camouflage (the paper's counter to detection): extra warm
-	// loads dilute the miss ratio below the detector's threshold.
-	{
-		camoRes, err := runOne(func(c *core.Config) { c.CamouflageAccesses = 3 })
-		if err != nil {
-			return nil, err
-		}
-		det := defense.NewDetector()
-		flagged := 0
-		for _, v := range det.Inspect(camoRes.CoreServed, camoRes.Cycles) {
-			if v.Flagged {
-				flagged++
-			}
-		}
-		addRow("adaptive camouflage (3 loads/bit)", camoRes,
-			fmt.Sprintf("channel operates; detector flags %d cores", flagged))
-		o.progress("mitigations: camouflage done")
-	}
-
-	// Noise injection: random replacement.
-	rr, err := runOne(func(c *core.Config) { c.LLCPolicy = cache.NewRandom(o.Seed) })
-	if err != nil {
-		return nil, err
-	}
-	addRow("random replacement", rr, verdictFor(rr))
-	o.progress("mitigations: random replacement done")
-
-	// Noise injection: random-fill caching.
-	for _, p := range []float64{0.1, 0.5} {
-		rf, err := runOne(func(c *core.Config) { c.RandomFillProb = p })
-		if err != nil {
-			return nil, err
-		}
-		addRow(fmt.Sprintf("random fill (p=%.1f)", p), rf, verdictFor(rf))
-		o.progress("mitigations: random fill %.1f done", p)
-	}
-
-	// Isolation: DAWG-style way partitioning.
-	part, err := runOne(func(c *core.Config) { c.PartitionWays = 8 })
-	if err != nil {
-		return nil, err
-	}
-	addRow("way partitioning (8+8)", part, verdictFor(part))
-	o.progress("mitigations: partitioning done")
-
-	return t, nil
+	}, nil
 }
 
 // verdictFor classifies a mitigated run's outcome.

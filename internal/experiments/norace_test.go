@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with -race.
+const raceEnabled = false

@@ -7,46 +7,57 @@ import (
 	"streamline/internal/mem"
 	"streamline/internal/params"
 	"streamline/internal/pattern"
-	"streamline/internal/stats"
 )
 
-// Table1 regenerates the paper's Table 1: the LLC miss-rate of N=1000
+// planTable1 regenerates the paper's Table 1: the LLC miss-rate of N=1000
 // accesses following the (x, y) strided pattern — every x-th cache line in
 // a page, lines from y pages accessed before the next line of the same
 // page — repeated five times. A high miss-rate means the pattern fools the
-// hardware prefetchers.
-func Table1(o Opts) (*Table, error) {
+// hardware prefetchers. Each (x, y) cell is one point of the sweep.
+func planTable1(o Opts) (*Plan, error) {
 	const n = 1000
 	reps := 5
 	if o.Quick {
 		reps = 2
 	}
-	t := &Table{
-		ID:     "table1",
-		Title:  "LLC miss-rate for the (x,y) access pattern (higher = fools prefetcher better)",
-		Header: []string{"x\\y", "1", "2", "3", "4", "5"},
-		Notes: []string{
-			"paper: y=1 column 1.8-17.3%, x=1 row 1.8-3.7%, x=2 row ~7%, x>=3 & y>=2 >= 88%",
-		},
-	}
+	var points []Point
 	for x := 1; x <= 5; x++ {
-		row := []string{fmt.Sprintf("%d", x)}
 		for y := 1; y <= 5; y++ {
-			var samples []float64
-			for r := 0; r < reps; r++ {
-				mr, err := missRateXY(o.Seed+uint64(r), x, y, n)
-				if err != nil {
-					return nil, err
-				}
-				samples = append(samples, mr*100)
-			}
-			s := stats.Summarize(samples)
-			row = append(row, fmt.Sprintf("%.1f%%", s.Mean))
+			points = append(points, Point{
+				Label: fmt.Sprintf("x=%d y=%d", x, y),
+				Reps:  reps,
+				Run: func(rep int, seed uint64) (Out, error) {
+					mr, err := missRateXY(seed, x, y, n)
+					if err != nil {
+						return Out{}, err
+					}
+					return Out{Metrics: []float64{mr * 100}}, nil
+				},
+			})
 		}
-		t.Rows = append(t.Rows, row)
-		o.progress("table1: x=%d done", x)
 	}
-	return t, nil
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "table1",
+				Title:  "LLC miss-rate for the (x,y) access pattern (higher = fools prefetcher better)",
+				Header: []string{"x\\y", "1", "2", "3", "4", "5"},
+				Notes: []string{
+					"paper: y=1 column 1.8-17.3%, x=1 row 1.8-3.7%, x=2 row ~7%, x>=3 & y>=2 >= 88%",
+				},
+			}
+			for x := 1; x <= 5; x++ {
+				row := []string{fmt.Sprintf("%d", x)}
+				for y := 1; y <= 5; y++ {
+					s := summarize(res[(x-1)*5+(y-1)], 0)
+					row = append(row, fmt.Sprintf("%.1f%%", s.Mean))
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			return t, nil
+		},
+	}, nil
 }
 
 // missRateXY measures the fraction of n demand accesses served by DRAM for

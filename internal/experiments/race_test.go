@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with -race. The
+// golden conformance suite regenerates every experiment twice and is pure
+// compute; under the race detector's ~10x slowdown it blows the package
+// test timeout without exercising any additional interleavings beyond
+// what internal/runner's own race tests cover, so it skips itself.
+const raceEnabled = true

@@ -5,8 +5,6 @@ import (
 
 	"streamline/internal/core"
 	"streamline/internal/params"
-	"streamline/internal/payload"
-	"streamline/internal/stats"
 )
 
 // SMTStreamlineConfig returns Streamline in the hyper-threading model of
@@ -31,50 +29,52 @@ func SMTStreamlineConfig() core.Config {
 	return cfg
 }
 
-// SMT compares the default cross-core channel with the same-core
+// planSMT compares the default cross-core channel with the same-core
 // hyper-threaded variant (Section 6). The same-core variant has no DRAM
 // access in its loop at all — misses are LLC hits — so its bit period is
 // shorter, but its decision margin (L2 vs LLC latency) and its buffering
 // capacity (the L2) are far smaller.
-func SMT(o Opts) (*Table, error) {
+func planSMT(o Opts) (*Plan, error) {
 	bits := 400000
 	if o.Quick {
 		bits = 150000
 	}
-	t := &Table{
-		ID:     "smt",
-		Title:  "Cross-core (LLC) vs hyper-threaded same-core (L2) Streamline",
-		Header: []string{"variant", "bit-rate", "bit-error-rate", "max gap (bits)"},
-		Notes: []string{
-			"Section 6: on SMT siblings the L2 is the suitable target; a smaller array suffices but the hit-vs-miss margin shrinks",
-		},
-	}
-	for _, v := range []struct {
+	variants := []struct {
 		name string
 		mk   func() core.Config
 	}{
 		{"cross-core (LLC)", core.DefaultConfig},
 		{"same-core SMT (L2)", SMTStreamlineConfig},
-	} {
-		var rates, errs, gaps []float64
-		for r := 0; r < o.runs(); r++ {
-			cfg := v.mk()
-			cfg.Seed = o.Seed + uint64(r)*101
-			res, err := core.Run(cfg, payload.Random(cfg.Seed^0x517, bits))
-			if err != nil {
-				return nil, err
-			}
-			rates = append(rates, res.BitRateKBps)
-			errs = append(errs, res.Errors.Rate()*100)
-			gaps = append(gaps, float64(res.MaxGap))
-		}
-		t.Rows = append(t.Rows, []string{
-			v.name,
-			kbps(stats.Summarize(rates)),
-			pct(stats.Summarize(errs)),
-			fmt.Sprintf("%.0f", stats.Summarize(gaps).Mean),
-		})
-		o.progress("smt: %s done", v.name)
 	}
-	return t, nil
+	var points []Point
+	for _, v := range variants {
+		points = append(points, Point{
+			Label: v.name,
+			Run: channelRun(func(int, uint64) core.Config {
+				return v.mk()
+			}, bits),
+		})
+	}
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "smt",
+				Title:  "Cross-core (LLC) vs hyper-threaded same-core (L2) Streamline",
+				Header: []string{"variant", "bit-rate", "bit-error-rate", "max gap (bits)"},
+				Notes: []string{
+					"Section 6: on SMT siblings the L2 is the suitable target; a smaller array suffices but the hit-vs-miss margin shrinks",
+				},
+			}
+			for i, v := range variants {
+				t.Rows = append(t.Rows, []string{
+					v.name,
+					kbps(summarize(res[i], cmRate)),
+					pct(summarize(res[i], cmErr)),
+					fmt.Sprintf("%.0f", summarize(res[i], cmGap).Mean),
+				})
+			}
+			return t, nil
+		},
+	}, nil
 }

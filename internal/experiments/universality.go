@@ -25,28 +25,21 @@ func ARMStreamlineConfig() core.Config {
 	return cfg
 }
 
-// Universality demonstrates the paper's portability claim (Sections 2.3.2
-// and 2.4): flush-based attacks require an unprivileged flush instruction
-// and are impossible on ARM, while Streamline — relying only on shared
-// memory and hit/miss timing — runs on both ISAs (even its coarse
-// synchronization channel falls back to eviction-based resets).
-func Universality(o Opts) (*Table, error) {
+// planUniversality demonstrates the paper's portability claim
+// (Sections 2.3.2 and 2.4): flush-based attacks require an unprivileged
+// flush instruction and are impossible on ARM, while Streamline — relying
+// only on shared memory and hit/miss timing — runs on both ISAs (even its
+// coarse synchronization channel falls back to eviction-based resets).
+func planUniversality(o Opts) (*Plan, error) {
 	bits := 400000
 	if o.Quick {
 		bits = 150000
 	}
-	t := &Table{
-		ID:     "universality",
-		Title:  "Attack availability and throughput across ISAs",
-		Header: []string{"attack", "Intel Skylake (x86)", "ARM Cortex-A72 (ARMv8)"},
-		Notes: []string{
-			"flush attacks need unprivileged clflush: unavailable on ARMv8 by default, absent on ARMv7 (Section 2.3.2)",
-			"Streamline needs only shared memory and cache-hit/miss timing: it runs on both",
-		},
-	}
-	arm := params.ARMCortexA72()
+	const baselineBits = 40000
 
-	// Flush-based baselines: measured on x86, refused on ARM.
+	// Flush-based baselines: measured on x86; the run also probes the ARM
+	// constructor, whose refusal (no unprivileged flush) rides back on
+	// Out.Data.
 	type mkAttack func(m *params.Machine, seed uint64) (attacks.Attack, error)
 	baselines := []struct {
 		name string
@@ -59,71 +52,97 @@ func Universality(o Opts) (*Table, error) {
 			return attacks.NewFlushFlushOn(m, 0, s)
 		}},
 	}
-	baselineBits := 40000
+	var points []Point
 	for _, b := range baselines {
-		row := []string{b.name}
-		a, err := b.mk(nil, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res, err := a.Run(payload.Random(o.Seed, baselineBits))
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, fmt.Sprintf("%.0f KB/s @ %.2f%%", res.BitRateKBps, res.Errors.Rate()*100))
-		if _, err := b.mk(arm, o.Seed); err != nil {
-			row = append(row, "unavailable (no unprivileged flush)")
-		} else {
-			row = append(row, "unexpectedly available")
-		}
-		t.Rows = append(t.Rows, row)
-		o.progress("universality: %s done", b.name)
+		points = append(points, Point{
+			Label: b.name,
+			Reps:  1,
+			Run: func(rep int, seed uint64) (Out, error) {
+				a, err := b.mk(nil, seed)
+				if err != nil {
+					return Out{}, err
+				}
+				res, err := a.Run(payload.Random(seed, baselineBits))
+				if err != nil {
+					return Out{}, err
+				}
+				armVerdict := "unexpectedly available"
+				if _, err := b.mk(params.ARMCortexA72(), seed); err != nil {
+					armVerdict = "unavailable (no unprivileged flush)"
+				}
+				return Out{
+					Metrics: []float64{res.BitRateKBps, res.Errors.Rate() * 100},
+					Data:    armVerdict,
+				}, nil
+			},
+		})
 	}
 
 	// Prime+Probe works everywhere (no flushes, no shared memory) but
-	// stays slow; include it for contrast.
-	{
-		row := []string{"prime+probe(llc)"}
-		for _, m := range []*params.Machine{nil, arm} {
-			a, err := attacks.NewPrimeProbeLLCOn(m, 0, o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := a.Run(payload.Random(o.Seed, baselineBits))
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.0f KB/s @ %.2f%%", res.BitRateKBps, res.Errors.Rate()*100))
-		}
-		t.Rows = append(t.Rows, row)
-		o.progress("universality: prime+probe done")
+	// stays slow; include it for contrast. One point per platform.
+	ppMachines := []func() *params.Machine{
+		func() *params.Machine { return nil },
+		params.ARMCortexA72,
+	}
+	for i, mkM := range ppMachines {
+		points = append(points, Point{
+			Label: fmt.Sprintf("prime+probe platform %d", i),
+			Reps:  1,
+			Run: func(rep int, seed uint64) (Out, error) {
+				a, err := attacks.NewPrimeProbeLLCOn(mkM(), 0, seed)
+				if err != nil {
+					return Out{}, err
+				}
+				res, err := a.Run(payload.Random(seed, baselineBits))
+				if err != nil {
+					return Out{}, err
+				}
+				return Out{Metrics: []float64{res.BitRateKBps, res.Errors.Rate() * 100}}, nil
+			},
+		})
 	}
 
 	// Streamline on both platforms.
-	{
-		row := []string{"streamline"}
-		for _, mk := range []func() core.Config{core.DefaultConfig, ARMStreamlineConfig} {
-			var rates, errs []float64
-			for r := 0; r < o.runs(); r++ {
-				cfg := mk()
-				cfg.Seed = o.Seed + uint64(r)*31
-				res, err := core.Run(cfg, payload.Random(cfg.Seed, bits))
-				if err != nil {
-					return nil, err
-				}
-				rates = append(rates, res.BitRateKBps)
-				errs = append(errs, res.Errors.Rate()*100)
-			}
-			var rSum, eSum float64
-			for i := range rates {
-				rSum += rates[i]
-				eSum += errs[i]
-			}
-			row = append(row, fmt.Sprintf("%.0f KB/s @ %.2f%%",
-				rSum/float64(len(rates)), eSum/float64(len(errs))))
-		}
-		t.Rows = append(t.Rows, row)
-		o.progress("universality: streamline done")
+	slConfigs := []func() core.Config{core.DefaultConfig, ARMStreamlineConfig}
+	for i, mkCfg := range slConfigs {
+		points = append(points, Point{
+			Label: fmt.Sprintf("streamline platform %d", i),
+			Run: channelRun(func(int, uint64) core.Config {
+				return mkCfg()
+			}, bits),
+		})
 	}
-	return t, nil
+
+	return &Plan{
+		Points: points,
+		Assemble: func(res [][]Out) (*Table, error) {
+			t := &Table{
+				ID:     "universality",
+				Title:  "Attack availability and throughput across ISAs",
+				Header: []string{"attack", "Intel Skylake (x86)", "ARM Cortex-A72 (ARMv8)"},
+				Notes: []string{
+					"flush attacks need unprivileged clflush: unavailable on ARMv8 by default, absent on ARMv7 (Section 2.3.2)",
+					"Streamline needs only shared memory and cache-hit/miss timing: it runs on both",
+				},
+			}
+			point := func(out Out) string {
+				return fmt.Sprintf("%.0f KB/s @ %.2f%%", out.Metrics[0], out.Metrics[1])
+			}
+			for i, b := range baselines {
+				out := res[i][0]
+				t.Rows = append(t.Rows, []string{b.name, point(out), out.Data.(string)})
+			}
+			pp := len(baselines)
+			t.Rows = append(t.Rows, []string{"prime+probe(llc)",
+				point(res[pp][0]), point(res[pp+1][0])})
+			sl := pp + len(ppMachines)
+			row := []string{"streamline"}
+			for i := range slConfigs {
+				row = append(row, fmt.Sprintf("%.0f KB/s @ %.2f%%",
+					summarize(res[sl+i], cmRate).Mean, summarize(res[sl+i], cmErr).Mean))
+			}
+			t.Rows = append(t.Rows, row)
+			return t, nil
+		},
+	}, nil
 }

@@ -1,0 +1,28 @@
+package experiments
+
+// Per-experiment entry points. Each is equivalent to Run(id, o); they exist
+// so callers (and the package tests) can address one artifact directly.
+
+func Table1(o Opts) (*Table, error) { return Run("table1", o) }
+func Fig6(o Opts) (*Table, error)   { return Run("fig6", o) }
+func Fig7(o Opts) (*Table, error)   { return Run("fig7", o) }
+func Fig9(o Opts) (*Table, error)   { return Run("fig9", o) }
+func Table2(o Opts) (*Table, error) { return Run("table2", o) }
+func Table3(o Opts) (*Table, error) { return Run("table3", o) }
+func Table4(o Opts) (*Table, error) { return Run("table4", o) }
+func Table5(o Opts) (*Table, error) { return Run("table5", o) }
+func Fig10(o Opts) (*Table, error)  { return Run("fig10", o) }
+func Fig11(o Opts) (*Table, error)  { return Run("fig11", o) }
+func Table6(o Opts) (*Table, error) { return Run("table6", o) }
+
+func AblationEncoding(o Opts) (*Table, error)    { return Run("ablation-encoding", o) }
+func AblationTrailing(o Opts) (*Table, error)    { return Run("ablation-trailing", o) }
+func AblationRateLimit(o Opts) (*Table, error)   { return Run("ablation-ratelimit", o) }
+func AblationReplacement(o Opts) (*Table, error) { return Run("ablation-replacement", o) }
+func AblationPrefetcher(o Opts) (*Table, error)  { return Run("ablation-prefetcher", o) }
+func AblationHugePages(o Opts) (*Table, error)   { return Run("ablation-hugepages", o) }
+
+func Universality(o Opts) (*Table, error) { return Run("universality", o) }
+func SMT(o Opts) (*Table, error)          { return Run("smt", o) }
+func Mitigations(o Opts) (*Table, error)  { return Run("mitigations", o) }
+func AsyncPP(o Opts) (*Table, error)      { return Run("asyncpp", o) }

@@ -1,0 +1,191 @@
+// Package runner executes experiment sweeps across a worker pool without
+// giving up bit-for-bit reproducibility.
+//
+// A sweep is a slice of Specs — (experiment id, parameter point, repetition)
+// tuples — plus one pure function that executes a single spec. Each run's
+// PRNG seed is derived hierarchically from the root seed and the spec alone
+// (rng.Derive; never from worker identity or completion order), and results
+// are reassembled in spec order before they reach the caller. Aggregations
+// computed over the returned slice — confidence intervals, error
+// breakdowns, table rows — are therefore identical whether the sweep ran on
+// one worker or sixteen.
+//
+// The zero worker count selects GOMAXPROCS; Workers == 1 runs the specs
+// serially on the calling goroutine, which is the reference path the golden
+// conformance tests compare every other worker count against.
+package runner
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"streamline/internal/rng"
+)
+
+// Spec identifies one simulation run within a sweep.
+type Spec struct {
+	// Experiment is the experiment id (e.g. "fig9"); it feeds the seed
+	// derivation, so equal points of different experiments never share
+	// streams.
+	Experiment string
+	// Point indexes the parameter point within the experiment.
+	Point int
+	// Rep indexes the repetition within the point.
+	Rep int
+	// Label is a human-readable description for progress reporting only;
+	// it does not contribute to the seed.
+	Label string
+}
+
+// Seed derives this run's PRNG seed from the root seed. The derivation
+// depends only on (Experiment, Point, Rep).
+func (s Spec) Seed(root uint64) uint64 {
+	return rng.Derive(root, rng.HashString(s.Experiment), uint64(s.Point), uint64(s.Rep))
+}
+
+// Event reports one completed run to the progress hook.
+type Event struct {
+	// Spec is the completed run.
+	Spec Spec
+	// Index is the run's position in spec order.
+	Index int
+	// Done is the number of runs completed so far, Total the sweep size.
+	Done, Total int
+	// Elapsed is the run's wall time (informational only — it never
+	// influences results).
+	Elapsed time.Duration
+	// Err is the run's error, if any.
+	Err error
+}
+
+// Hook observes run completions. It is called from worker goroutines but
+// never concurrently, and completion order is scheduling-dependent — hooks
+// must not feed results back into the sweep.
+type Hook func(Event)
+
+// Options configures an Execute call.
+type Options struct {
+	// Root is the sweep's base seed.
+	Root uint64
+	// Workers sets the pool size: 0 selects GOMAXPROCS, 1 runs serially
+	// on the calling goroutine. Results are identical for any value.
+	Workers int
+	// Hook, when non-nil, receives one Event per completed run.
+	Hook Hook
+}
+
+// Func executes one spec. It must be pure: all randomness derived from
+// seed, no shared mutable state, so that the sweep's results do not depend
+// on how runs interleave.
+type Func[T any] func(spec Spec, seed uint64) (T, error)
+
+// Execute runs every spec through fn and returns the results in spec
+// order. On failure it returns the error of the lowest-index failing spec
+// (again independent of scheduling). Remaining specs may be skipped once a
+// failure is observed.
+func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
+	n := len(specs)
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	if workers == 1 {
+		for i, s := range specs {
+			start := time.Now()
+			out, err := fn(s, s.Seed(opt.Root))
+			if opt.Hook != nil {
+				opt.Hook(Event{Spec: s, Index: i, Done: i + 1, Total: n,
+					Elapsed: time.Since(start), Err: err})
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s point %d rep %d: %w",
+					s.Experiment, s.Point, s.Rep, err)
+			}
+			results[i] = out
+		}
+		return results, nil
+	}
+
+	var (
+		mu     sync.Mutex
+		done   int
+		failed bool
+		errs   = make([]error, n)
+		next   = make(chan int)
+		wg     sync.WaitGroup
+	)
+	go func() {
+		defer close(next)
+		for i := range specs {
+			mu.Lock()
+			stop := failed
+			mu.Unlock()
+			if stop {
+				return
+			}
+			next <- i
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := specs[i]
+				start := time.Now()
+				out, err := fn(s, s.Seed(opt.Root))
+				mu.Lock()
+				done++
+				if err != nil {
+					errs[i] = err
+					failed = true
+				} else {
+					results[i] = out
+				}
+				if opt.Hook != nil {
+					opt.Hook(Event{Spec: s, Index: i, Done: done, Total: n,
+						Elapsed: time.Since(start), Err: err})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			s := specs[i]
+			return nil, fmt.Errorf("%s point %d rep %d: %w",
+				s.Experiment, s.Point, s.Rep, err)
+		}
+	}
+	return results, nil
+}
+
+// Progress returns a Hook that writes one line per completed run to w,
+// with the run's label, wall time, and sweep completion count.
+func Progress(w io.Writer) Hook {
+	return func(e Event) {
+		status := "done"
+		if e.Err != nil {
+			status = "FAILED: " + e.Err.Error()
+		}
+		label := e.Spec.Label
+		if label == "" {
+			label = fmt.Sprintf("point %d", e.Spec.Point)
+		}
+		fmt.Fprintf(w, "[%d/%d] %s: %s rep %d %s (%s)\n",
+			e.Done, e.Total, e.Spec.Experiment, label, e.Spec.Rep, status,
+			e.Elapsed.Round(time.Millisecond))
+	}
+}

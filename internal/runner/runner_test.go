@@ -1,0 +1,178 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamline/internal/rng"
+)
+
+func sweep(experiment string, points, reps int) []Spec {
+	var specs []Spec
+	for p := 0; p < points; p++ {
+		for r := 0; r < reps; r++ {
+			specs = append(specs, Spec{Experiment: experiment, Point: p, Rep: r,
+				Label: fmt.Sprintf("p%d", p)})
+		}
+	}
+	return specs
+}
+
+// echo returns the derived seed plus a few PRNG draws, so any divergence in
+// seeding or result placement shows up as a value mismatch.
+func echo(s Spec, seed uint64) ([3]uint64, error) {
+	x := rng.New(seed)
+	return [3]uint64{seed, x.Uint64(), x.Uint64()}, nil
+}
+
+// TestWorkerCountInvariance is the core determinism property: the same
+// sweep must produce identical result slices at every worker count,
+// regardless of how the scheduler interleaves runs.
+func TestWorkerCountInvariance(t *testing.T) {
+	specs := sweep("invariance", 13, 7)
+	ref, err := Execute(specs, echo, Options{Root: 99, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8, 64} {
+		got, err := Execute(specs, func(s Spec, seed uint64) ([3]uint64, error) {
+			// Jitter completion order so the test actually exercises
+			// out-of-order reassembly.
+			if (s.Point+s.Rep)%3 == 0 {
+				time.Sleep(time.Duration(s.Rep) * 100 * time.Microsecond)
+			}
+			return echo(s, seed)
+		}, Options{Root: 99, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result %d = %v, serial %v",
+					workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestSeedsIgnoreWorkerIdentity: a spec's seed is a pure function of
+// (root, experiment, point, rep).
+func TestSeedsIgnoreWorkerIdentity(t *testing.T) {
+	s := Spec{Experiment: "fig9", Point: 2, Rep: 1}
+	if s.Seed(7) != s.Seed(7) {
+		t.Fatal("Seed not deterministic")
+	}
+	if s.Seed(7) == s.Seed(8) {
+		t.Fatal("root ignored")
+	}
+	other := Spec{Experiment: "fig10", Point: 2, Rep: 1}
+	if s.Seed(7) == other.Seed(7) {
+		t.Fatal("experiment id ignored")
+	}
+	labeled := s
+	labeled.Label = "something"
+	if s.Seed(7) != labeled.Seed(7) {
+		t.Fatal("label must not feed the seed")
+	}
+}
+
+func TestSeedsDistinctWithinSweep(t *testing.T) {
+	specs := sweep("distinct", 50, 20)
+	seen := map[uint64]Spec{}
+	for _, s := range specs {
+		seed := s.Seed(1)
+		if prev, dup := seen[seed]; dup {
+			t.Fatalf("specs %+v and %+v share seed %#x", s, prev, seed)
+		}
+		seen[seed] = s
+	}
+}
+
+func TestErrorIsLowestIndex(t *testing.T) {
+	specs := sweep("errs", 10, 1)
+	boom := func(s Spec, seed uint64) (int, error) {
+		if s.Point == 3 || s.Point == 7 {
+			return 0, fmt.Errorf("point %d exploded", s.Point)
+		}
+		return s.Point, nil
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Execute(specs, boom, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		if !strings.Contains(err.Error(), "point 3 exploded") {
+			t.Fatalf("workers=%d: want lowest-index error, got %v", workers, err)
+		}
+	}
+}
+
+func TestErrorStopsFeedingSerial(t *testing.T) {
+	var calls atomic.Int64
+	specs := sweep("stop", 10, 1)
+	_, err := Execute(specs, func(s Spec, seed uint64) (int, error) {
+		calls.Add(1)
+		if s.Point == 2 {
+			return 0, errors.New("dead")
+		}
+		return 0, nil
+	}, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("serial path ran %d specs after failure, want 3", calls.Load())
+	}
+}
+
+func TestHookSeesEveryRun(t *testing.T) {
+	specs := sweep("hooked", 6, 3)
+	for _, workers := range []int{1, 4} {
+		var events []Event
+		_, err := Execute(specs, echo, Options{Workers: workers, Hook: func(e Event) {
+			events = append(events, e)
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != len(specs) {
+			t.Fatalf("workers=%d: %d events for %d specs", workers, len(events), len(specs))
+		}
+		seen := map[int]bool{}
+		for i, e := range events {
+			if e.Done != i+1 || e.Total != len(specs) {
+				t.Fatalf("workers=%d: event %d has Done=%d Total=%d", workers, i, e.Done, e.Total)
+			}
+			if seen[e.Index] {
+				t.Fatalf("workers=%d: index %d reported twice", workers, e.Index)
+			}
+			seen[e.Index] = true
+		}
+	}
+}
+
+func TestProgressHookOutput(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Execute(sweep("prog", 2, 1), echo, Options{Workers: 1, Hook: Progress(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[1/2]", "[2/2]", "prog: p0 rep 0 done", "prog: p1 rep 0 done"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptySweep(t *testing.T) {
+	res, err := Execute(nil, echo, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty sweep: %v, %v", res, err)
+	}
+}
