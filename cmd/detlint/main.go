@@ -1,0 +1,106 @@
+// Command detlint runs the repository's determinism linters
+// (internal/analysis/...): seedderive, wallclock, mapiter, and
+// floatorder. Together they enforce, at vet time, the invariant the
+// golden conformance suite checks after the fact — that every experiment
+// result is a pure function of its seed, bit-identical at any worker
+// count.
+//
+// Standalone (loads and type-checks packages itself, offline):
+//
+//	detlint ./...
+//	detlint -list
+//
+// As a go vet tool (speaks vet's unit-checking protocol):
+//
+//	go vet -vettool=$(which detlint) ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Suppress a
+// deliberate finding at its line with
+//
+//	//detlint:allow <analyzer> -- <reason>
+//
+// — the reason is mandatory; a reasonless allow is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"streamline/internal/analysis"
+	"streamline/internal/analysis/floatorder"
+	"streamline/internal/analysis/mapiter"
+	"streamline/internal/analysis/seedderive"
+	"streamline/internal/analysis/wallclock"
+)
+
+// analyzers is the detlint suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	seedderive.Analyzer,
+	wallclock.Analyzer,
+	mapiter.Analyzer,
+	floatorder.Analyzer,
+}
+
+func main() {
+	// The go vet driver probes its -vettool with -V=full (for the build
+	// cache key) and -flags (for supported flags) before handing it unit
+	// config files; handle the protocol before normal flag parsing.
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V"):
+			// The driver checks `<basename> version <version>` and takes
+			// the line as the tool's build-cache key.
+			fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), runtime.Version())
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(runUnit(os.Args[1], analyzers))
+		}
+	}
+
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [packages]\n       go vet -vettool=$(which detlint) [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

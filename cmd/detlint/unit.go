@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"streamline/internal/analysis"
+)
+
+// vetConfig is the unit-checking configuration the go vet driver writes
+// for each package (the same JSON x/tools' unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet compilation unit and returns the process exit
+// code. The driver requires the facts file (VetxOutput) to exist on any
+// successful exit; detlint's analyzers exchange no facts, so it is
+// written empty.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	writeVetx := func() int {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "detlint:", err)
+				return 2
+			}
+		}
+		return 0
+	}
+
+	// Test variants ("pkg [pkg.test]", "pkg_test") re-present the same
+	// source; the determinism invariants are enforced on the plain
+	// package only, matching the standalone mode's non-test scope.
+	if cfg.VetxOnly || strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, "_test") {
+		return writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return writeVetx()
+	}
+
+	imp := analysis.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	typesPkg, info, err := analysis.Check(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx()
+		}
+		fmt.Fprintf(os.Stderr, "detlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      typesPkg,
+		TypesInfo:  info,
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	if code := writeVetx(); code != 0 {
+		return code
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// exportFiles resolves export data for paths (and their deps) via the
+// same offline `go list -export` mechanism the driver itself uses to
+// produce PackageFile maps.
+func exportFiles(t *testing.T, paths ...string) map[string]string {
+	t.Helper()
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = "../.." // module root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	files := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if p.Export != "" {
+			files[p.ImportPath] = p.Export
+		}
+	}
+	return files
+}
+
+// runUnitOn writes a vet-protocol config for one synthetic package and
+// runs detlint's unit checker over it, returning the exit code and
+// captured stderr.
+func runUnitOn(t *testing.T, src string, imports ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "pkg.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := vetConfig{
+		ID:          "fixture",
+		Compiler:    "gc",
+		Dir:         dir,
+		ImportPath:  "fixture",
+		GoFiles:     []string{goFile},
+		PackageFile: exportFiles(t, imports...),
+		VetxOutput:  filepath.Join(dir, "out.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the diagnostics the unit checker prints to stderr.
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	code := runUnit(cfgFile, analyzers)
+	w.Close()
+	os.Stderr = old
+	captured, _ := io.ReadAll(r)
+
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("unit checker did not write the facts file: %v", err)
+	}
+	return code, string(captured)
+}
+
+func TestUnitCheckerReportsFindings(t *testing.T) {
+	code, out := runUnitOn(t, `package fixture
+
+import "time"
+
+func now() time.Time { return time.Now() }
+`, "time")
+	if code == 0 {
+		t.Fatalf("want nonzero exit for a finding, got 0 (stderr: %s)", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("wallclock")) {
+		t.Fatalf("stderr missing wallclock diagnostic: %s", out)
+	}
+}
+
+func TestUnitCheckerCleanPackage(t *testing.T) {
+	code, out := runUnitOn(t, `package fixture
+
+import "time"
+
+func period(cycles uint64) time.Duration {
+	return time.Duration(cycles) * time.Nanosecond
+}
+`, "time")
+	if code != 0 {
+		t.Fatalf("want exit 0 for clean package, got %d: %s", code, out)
+	}
+	if len(out) != 0 {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}
+
+func TestUnitCheckerSkipsTestVariants(t *testing.T) {
+	dir := t.TempDir()
+	cfg := vetConfig{
+		ID:         "fixture.test",
+		ImportPath: "fixture [fixture.test]",
+		VetxOutput: filepath.Join(dir, "out.vetx"),
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgFile := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := runUnit(cfgFile, analyzers); code != 0 {
+		t.Fatalf("test variant must be skipped cleanly, got exit %d", code)
+	}
+	if _, err := os.Stat(cfg.VetxOutput); err != nil {
+		t.Errorf("facts file missing for skipped variant: %v", err)
+	}
+}

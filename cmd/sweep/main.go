@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,10 +32,11 @@ func main() {
 		runs    = flag.Int("runs", 0, "repetitions per data point (0 = default 3; paper uses 5)")
 		full    = flag.Bool("full", false, "paper-scale payload sizes (up to 1e9 bits; hours)")
 		quick   = flag.Bool("quick", false, "smoke-test sizes")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
+		quiet   = flag.Bool("quiet", false, "suppress progress and timing lines")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	)
+	flag.BoolVar(quiet, "q", false, "shorthand for -quiet")
 	flag.Parse()
 
 	if *list {
@@ -52,18 +54,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	prog := newProgress(os.Stderr, *quiet)
 	opts := experiments.Opts{Seed: *seed, Runs: *runs, Full: *full, Quick: *quick, Workers: *workers}
-	if !*quiet {
-		opts.Progress = os.Stderr
-	}
+	opts.Progress = prog.runWriter()
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
-	total := time.Now()
 	for _, id := range ids {
-		start := time.Now()
+		done := prog.begin(id)
 		tab, err := experiments.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
@@ -74,11 +74,58 @@ func main() {
 		} else {
 			tab.Format(os.Stdout)
 		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%s took %s]\n", id, time.Since(start).Round(time.Millisecond))
+		done()
+	}
+	if *exp == "all" {
+		prog.total("all experiments")
+	}
+}
+
+// progress is the command's single progress hook: every line written to
+// stderr and every wall-clock read funnels through it, so the display
+// path has exactly one clock call site (progress.now) and -quiet switches
+// the whole thing off at once.
+type progress struct {
+	w     io.Writer
+	quiet bool
+	start time.Time
+}
+
+func newProgress(w io.Writer, quiet bool) *progress {
+	p := &progress{w: w, quiet: quiet}
+	p.start = p.now()
+	return p
+}
+
+// now is the command's only clock access; its values decorate stderr
+// progress lines and never reach experiment output (stdout).
+func (p *progress) now() time.Time {
+	return time.Now() //detlint:allow wallclock -- display-only elapsed timing on the progress path; never reaches results
+}
+
+// runWriter returns the per-run progress destination for
+// experiments.Opts.Progress, or nil when quiet.
+func (p *progress) runWriter() io.Writer {
+	if p.quiet {
+		return nil
+	}
+	return p.w
+}
+
+// begin marks the start of one experiment and returns the function that
+// reports its elapsed time.
+func (p *progress) begin(id string) (done func()) {
+	start := p.now()
+	return func() {
+		if !p.quiet {
+			fmt.Fprintf(p.w, "[%s took %s]\n", id, p.now().Sub(start).Round(time.Millisecond))
 		}
 	}
-	if !*quiet && *exp == "all" {
-		fmt.Fprintf(os.Stderr, "[all experiments took %s]\n", time.Since(total).Round(time.Millisecond))
+}
+
+// total reports time elapsed since the progress hook was created.
+func (p *progress) total(label string) {
+	if !p.quiet {
+		fmt.Fprintf(p.w, "[%s took %s]\n", label, p.now().Sub(p.start).Round(time.Millisecond))
 	}
 }

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A finding that is legitimate — the runner's informational per-run
+// timing, a display-only wall clock in an example — is annotated, not
+// silently exempted:
+//
+//	//detlint:allow wallclock -- display-only elapsed time, never reaches results
+//
+// The comment names one or more analyzers (comma-separated) and MUST carry
+// a reason after " -- "; an allow without a reason is itself reported. A
+// suppression covers diagnostics on its own line (trailing comment) and on
+// the line immediately below (standalone comment above the offending
+// statement).
+
+const allowPrefix = "detlint:allow"
+
+// allowKey identifies one (file, line, analyzer) a suppression covers.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+func (s allowSet) covers(d Diagnostic) bool {
+	return s[allowKey{d.Position.Filename, d.Position.Line, d.Analyzer}]
+}
+
+// collectAllows gathers every well-formed //detlint:allow comment in files
+// and returns the suppression set plus diagnostics for malformed ones.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "detlint",
+			Pos:      pos,
+			Position: fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					continue
+				}
+				names, reason, ok := strings.Cut(text, "--")
+				if !ok || strings.TrimSpace(reason) == "" {
+					report(c.Slash, "//detlint:allow needs a reason: `//detlint:allow <name> -- <reason>`")
+					continue
+				}
+				fields := strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				if len(fields) == 0 {
+					report(c.Slash, "//detlint:allow names no analyzer: `//detlint:allow <name> -- <reason>`")
+					continue
+				}
+				p := fset.Position(c.Slash)
+				for _, name := range fields {
+					set[allowKey{p.Filename, p.Line, name}] = true
+					set[allowKey{p.Filename, p.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}

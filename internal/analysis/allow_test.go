@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectAllows(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	_ = 1 //detlint:allow wallclock -- trailing form
+	//detlint:allow mapiter, floatorder -- standalone, two analyzers
+	_ = 2
+}
+`)
+	set, bad := collectAllows(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-allow diagnostics: %v", bad)
+	}
+	covered := []Diagnostic{
+		{Analyzer: "wallclock", Position: token.Position{Filename: "allow.go", Line: 4}},
+		{Analyzer: "mapiter", Position: token.Position{Filename: "allow.go", Line: 6}},
+		{Analyzer: "floatorder", Position: token.Position{Filename: "allow.go", Line: 6}},
+	}
+	for _, d := range covered {
+		if !set.covers(d) {
+			t.Errorf("expected %s@%d to be suppressed", d.Analyzer, d.Position.Line)
+		}
+	}
+	uncovered := []Diagnostic{
+		{Analyzer: "seedderive", Position: token.Position{Filename: "allow.go", Line: 4}}, // wrong analyzer
+		{Analyzer: "wallclock", Position: token.Position{Filename: "allow.go", Line: 6}},  // wrong line
+		{Analyzer: "mapiter", Position: token.Position{Filename: "other.go", Line: 6}},    // wrong file
+	}
+	for _, d := range uncovered {
+		if set.covers(d) {
+			t.Errorf("did not expect %s@%s:%d to be suppressed", d.Analyzer, d.Position.Filename, d.Position.Line)
+		}
+	}
+}
+
+func TestCollectAllowsMalformed(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	_ = 1 //detlint:allow wallclock
+	_ = 2 //detlint:allow -- reason but no analyzer
+}
+`)
+	set, bad := collectAllows(fset, files)
+	if len(set) != 0 {
+		t.Fatalf("malformed allows must suppress nothing, got %d entries", len(set))
+	}
+	if len(bad) != 2 {
+		t.Fatalf("want 2 malformed-allow diagnostics, got %d: %v", len(bad), bad)
+	}
+	for _, d := range bad {
+		if d.Analyzer != "detlint" {
+			t.Errorf("malformed allow reported by %q, want detlint", d.Analyzer)
+		}
+	}
+	if !strings.Contains(bad[0].Message, "reason") {
+		t.Errorf("unexpected message: %s", bad[0].Message)
+	}
+}

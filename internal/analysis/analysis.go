@@ -1,0 +1,128 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis, built so the repository's
+// determinism linters (cmd/detlint) can run in an offline container where
+// the x/tools module is unavailable. It provides the Analyzer/Pass/
+// Diagnostic vocabulary, a type-checking package loader driven by
+// `go list -export` (load.go), and the `//detlint:allow` suppression
+// machinery shared by every linter (allow.go).
+//
+// The framework exists for one reason: the simulator's headline guarantee
+// — every experiment bit-identical at any worker count — is a property of
+// the *code*, not of any finite test set. The golden conformance suite
+// checks 21 experiment ids after the fact; the analyzers in
+// internal/analysis/... enforce the underlying invariants (no ambient
+// randomness, no wall-clock in result paths, no map-order or
+// FP-reassociation leaks) for every line at vet time.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one determinism linter: a name (used in diagnostics
+// and in //detlint:allow comments), documentation, and a Run function
+// applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description; the first line is the summary
+	// shown by `detlint -help`.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed non-test Go files, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for every expression
+	// and identifier in Files.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Report records a diagnostic against the pass's analyzer.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	d.Position = p.Fset.Position(d.Pos)
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name (filled in by Report).
+	Analyzer string
+	// Pos is the finding's position in the pass's FileSet.
+	Pos token.Pos
+	// Position is Pos resolved to file/line/column (filled in by Report).
+	Position token.Position
+	// Message describes the violation and, where possible, the fix.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run applies each analyzer to the package and returns the surviving
+// diagnostics — findings suppressed by a well-formed `//detlint:allow`
+// comment are dropped, and malformed suppression comments are themselves
+// reported (analyzer name "detlint"). Diagnostics are sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, bad...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Position, kept[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}

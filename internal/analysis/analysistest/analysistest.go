@@ -1,0 +1,203 @@
+// Package analysistest runs a determinism analyzer over want-comment
+// fixtures, mirroring golang.org/x/tools/go/analysis/analysistest on top
+// of the stdlib-only framework in internal/analysis.
+//
+// A fixture is one directory under the analyzer's testdata/ holding the
+// files of a single package ("testdata" directories are invisible to the
+// go tool, so fixtures never affect `go build ./...`). Expected findings
+// are marked in-line:
+//
+//	r := rand.Int() // want `process-global generator`
+//
+// Each backquoted or double-quoted string after `want` is a regexp that
+// must match one diagnostic on that line; diagnostics on lines with no
+// matching want, and wants with no matching diagnostic, fail the test.
+// Fixtures may import anything the module can — stdlib packages and
+// streamline/internal/... alike; the harness type-checks them against
+// export data produced by one offline `go list -export` call.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamline/internal/analysis"
+)
+
+// Run applies a to each fixture directory (relative to testdata/ in the
+// calling test's package directory) and checks its diagnostics against
+// the fixtures' want comments. Suppression comments are honored, so
+// fixtures can also assert that //detlint:allow works.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			t.Helper()
+			runDir(t, a, filepath.Join("testdata", dir))
+		})
+	}
+}
+
+func runDir(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+
+	pkg, info, err := analysis.Check("fixture/"+filepath.Base(dir), fset, files, fixtureImporter(t, fset, imports))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(&analysis.Package{
+		ImportPath: pkg.Path(),
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, files)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantRE extracts the quoted patterns of a want comment: each Go string
+// literal (back- or double-quoted) after the word `want`.
+var wantRE = regexp.MustCompile("`(?:[^`]*)`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := indexWant(c.Text)
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				patterns := wantRE.FindAllString(c.Text[idx:], -1)
+				if len(patterns) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, p := range patterns {
+					unq, err := strconv.Unquote(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, p, err)
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, unq, err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// indexWant returns the offset just past the "// want " marker, or -1
+// when the comment carries no wants. The marker may follow other comment
+// text (e.g. a //detlint:allow being tested), since a line has only one
+// trailing comment.
+func indexWant(text string) int {
+	const marker = "// want "
+	if i := strings.Index(text, marker); i >= 0 {
+		return i + len(marker)
+	}
+	return -1
+}
+
+// fixtureImporter builds a types.Importer covering the fixture's imports
+// from one `go list -export` run at the module root.
+func fixtureImporter(t *testing.T, fset *token.FileSet, imports map[string]bool) *analysis.ExportDataImporter {
+	t.Helper()
+	var paths []string
+	for p := range imports {
+		if p != "unsafe" {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths) // deterministic go list argument order
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := analysis.LoadExportData(root, paths...)
+	if err != nil {
+		t.Fatalf("loading export data for fixture imports: %v", err)
+	}
+	return ed.Importer(fset)
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,185 @@
+// Package floatorder flags floating-point accumulation whose order
+// depends on goroutine scheduling.
+//
+// Floating-point addition is not associative: (a+b)+c and a+(b+c) differ
+// in the last ulp, so a sum taken in worker-completion order is a
+// different number on every run even when each worker's contribution is
+// bit-identical. The runner's contract (internal/runner) is that results
+// are reassembled in spec order and all aggregation happens afterwards,
+// in the experiment's ordered Assemble step — never in a completion
+// callback.
+//
+// The analyzer reports compound float accumulation (`+=`, `-=`, `*=`,
+// `/=`, or `x = x + ...`) into a variable captured from an enclosing
+// scope when it occurs inside:
+//
+//   - a function literal launched with `go` (goroutine body), or
+//   - a function literal passed as a call argument (worker callbacks,
+//     progress hooks) — sort comparators are exempt, as are literals that
+//     are immediately invoked, assigned, returned, or stored in struct
+//     fields such as Plan.Assemble, all of which run on ordered paths.
+//
+// Integer accumulation is associative and passes. Deliberate exceptions
+// carry `//detlint:allow floatorder -- <reason>`.
+package floatorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamline/internal/analysis"
+)
+
+// Analyzer is the floatorder linter.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatorder",
+	Doc:  "flag float accumulation in goroutines/callbacks where completion order leaks into the sum",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ctx := classify(pass, stack, lit)
+			if ctx == "" {
+				return true
+			}
+			checkLit(pass, lit, ctx)
+			return true
+		})
+	}
+	return nil
+}
+
+// classify returns "goroutine" or "callback" when lit runs on an
+// unordered path, "" when it is invoked synchronously on an ordered one.
+func classify(pass *analysis.Pass, stack []ast.Node, lit *ast.FuncLit) string {
+	if len(stack) < 2 {
+		return ""
+	}
+	parent := stack[len(stack)-2]
+	call, ok := parent.(*ast.CallExpr)
+	if !ok {
+		return "" // assignment, return, composite-literal field: ordered
+	}
+	if call.Fun == ast.Expr(lit) {
+		// Immediately-invoked literal: runs inline, in order — unless the
+		// invocation itself is a `go` statement's call.
+		if len(stack) >= 3 {
+			if _, isGo := stack[len(stack)-3].(*ast.GoStmt); isGo {
+				return "goroutine"
+			}
+		}
+		return ""
+	}
+	// lit is an argument. `go` applies to the call, so a literal argument
+	// of a go'd call still runs... wherever the callee invokes it; treat
+	// as callback either way.
+	if callee := calleeOf(pass, call); callee != nil && callee.Pkg() != nil {
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+			return "" // comparators and search predicates: no accumulation risk
+		}
+	}
+	return "callback"
+}
+
+// checkLit reports captured-float accumulation inside lit.
+func checkLit(pass *analysis.Pass, lit *ast.FuncLit, ctx string) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false // nested literals are classified on their own
+		}
+		s, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range s.Lhs {
+			obj := identObj(pass, lhs)
+			if obj == nil || !isFloat(obj.Type()) || !capturedBy(lit, obj) {
+				continue
+			}
+			accum := false
+			switch s.Tok.String() {
+			case "+=", "-=", "*=", "/=":
+				accum = true
+			case "=":
+				if i < len(s.Rhs) {
+					accum = mentionsObj(pass, s.Rhs[i], obj)
+				}
+			}
+			if accum {
+				pass.Reportf(s.Pos(), "floating-point accumulation into captured %s inside a %s: completion order changes the sum (FP addition is not associative); return per-run values and reduce in the ordered Assemble step", obj.Name(), ctx)
+			}
+		}
+		return true
+	})
+}
+
+// capturedBy reports whether obj is declared outside lit (a captured
+// variable rather than a local or parameter).
+func capturedBy(lit *ast.FuncLit, obj types.Object) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+}
+
+// identObj resolves an assignment target to its variable object,
+// unwrapping parens and dereferences.
+func identObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		case *ast.StarExpr:
+			expr = e.X
+			continue
+		}
+		break
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[id]
+	}
+	return nil
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// mentionsObj reports whether expr references obj.
+func mentionsObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeOf resolves a call's static callee, or nil.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[f.Sel]
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[f]
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package floatorder_test
+
+import (
+	"testing"
+
+	"streamline/internal/analysis/analysistest"
+	"streamline/internal/analysis/floatorder"
+)
+
+func TestFloatOrder(t *testing.T) {
+	analysistest.Run(t, floatorder.Analyzer, "bad", "good", "allow")
+}

@@ -1,0 +1,21 @@
+// Fixture: //detlint:allow suppression semantics for floatorder.
+package fixture
+
+// tolerated is a deliberate, annotated exception (e.g. a display-only
+// running average where the last ulp cannot matter).
+func tolerated(each func(fn func(v float64))) float64 {
+	shown := 0.0
+	each(func(v float64) {
+		shown += v //detlint:allow floatorder -- display-only running total; never reaches results
+	})
+	return shown
+}
+
+// unannotated still fails.
+func unannotated(each func(fn func(v float64))) float64 {
+	sum := 0.0
+	each(func(v float64) {
+		sum += v // want `accumulation into captured sum inside a callback`
+	})
+	return sum
+}

@@ -1,0 +1,45 @@
+// Fixture: scheduling-ordered float accumulation floatorder must reject.
+package fixture
+
+import "sync"
+
+// goroutineSum races workers into a shared float: the addition order —
+// and therefore the rounding — follows completion order.
+func goroutineSum(inputs []float64) float64 {
+	var (
+		mu  sync.Mutex
+		sum float64
+		wg  sync.WaitGroup
+	)
+	for _, v := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			sum += v // want `accumulation into captured sum inside a goroutine`
+			mu.Unlock()
+		}()
+		_ = v
+	}
+	wg.Wait()
+	return sum
+}
+
+// callbackSum accumulates inside a completion callback — the runner-hook
+// shape, where events arrive in scheduling order.
+func callbackSum(each func(fn func(v float64))) float64 {
+	total := 0.0
+	each(func(v float64) {
+		total = total + v // want `accumulation into captured total inside a callback`
+	})
+	return total
+}
+
+// compoundOps covers the other compound tokens.
+func compoundOps(each func(fn func(v float64))) float64 {
+	prod := 1.0
+	each(func(v float64) {
+		prod *= v // want `accumulation into captured prod inside a callback`
+	})
+	return prod
+}

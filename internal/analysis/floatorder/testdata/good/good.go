@@ -1,0 +1,62 @@
+// Fixture: float accumulation on ordered paths floatorder must accept.
+package fixture
+
+import "sort"
+
+// orderedReduce is the blessed shape: results arrive as an ordered slice
+// (the runner reassembles in spec order) and the reduction runs serially
+// — the Assemble step.
+func orderedReduce(results []float64) float64 {
+	var sum float64
+	for _, v := range results {
+		sum += v
+	}
+	return sum
+}
+
+// intAccumulation is associative; goroutine order cannot change it.
+func intAccumulation(inputs []int, done func()) int {
+	var n int
+	for range inputs {
+		go func() {
+			n += 1 // integers commute and associate; no rounding to leak
+			done()
+		}()
+	}
+	return n
+}
+
+// localAccumulator declares the float inside the literal: nothing is
+// captured, so nothing leaks.
+func localAccumulator(each func(fn func(v float64))) {
+	each(func(v float64) {
+		acc := 0.0
+		acc += v
+		_ = acc
+	})
+}
+
+// comparator passes a float-comparing literal to sort, which is exempt.
+func comparator(vals []float64) {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+}
+
+// immediate literals run inline, in program order.
+func immediate() float64 {
+	total := 0.0
+	func() {
+		total += 1.5
+	}()
+	return total
+}
+
+// assigned literals are invoked synchronously by the enclosing function;
+// the call sites stay in program order.
+func assigned(vals []float64) float64 {
+	total := 0.0
+	add := func(v float64) { total += v }
+	for _, v := range vals {
+		add(v)
+	}
+	return total
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct{ Main bool }
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...") in dir
+// and returns every non-standard-library package, in `go list` order.
+//
+// The loader works fully offline: one `go list -export -deps -json`
+// invocation enumerates the packages, their source files, and compiled
+// export data for every dependency (the go command builds missing export
+// data into its cache). Target packages are then parsed from source and
+// type-checked against that export data — no network, no GOPATH install
+// step, no third-party loader.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := golist(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	// The -deps listing includes every transitive dependency; analyze
+	// only the packages the patterns actually name.
+	roots, err := golist(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	isRoot := map[string]bool{}
+	for _, p := range roots {
+		isRoot[p.ImportPath] = true
+	}
+	exports := map[string]string{}
+	var targets []*listPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && isRoot[p.ImportPath] {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := Check(t.ImportPath, fset, files, importMapper{imp, t.ImportMap})
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// Check type-checks one package's parsed files with the full types.Info
+// the analyzers rely on.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// golist runs one offline `go list -json` invocation and decodes every
+// listed package; deps additionally builds export data for the patterns'
+// transitive dependency closure.
+func golist(dir string, patterns []string, deps bool) ([]*listPackage, error) {
+	args := []string{"list", "-e"}
+	if deps {
+		args = append(args, "-export", "-deps")
+	}
+	args = append(args, "-json=Dir,ImportPath,Export,Standard,GoFiles,ImportMap,Module,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		q := p
+		pkgs = append(pkgs, &q)
+	}
+	return pkgs, nil
+}
+
+// ExportData is a set of compiled export-data files keyed by import path,
+// ready to back a types.Importer — the currency both of the standalone
+// loader and of vet's unit-checking protocol.
+type ExportData struct {
+	exports map[string]string
+}
+
+// LoadExportData resolves patterns (import paths or ./... patterns) from
+// dir and returns export data covering them and all their dependencies.
+func LoadExportData(dir string, patterns ...string) (*ExportData, error) {
+	listed, err := golist(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return &ExportData{exports: exports}, nil
+}
+
+// Importer returns a types.Importer over the export data.
+func (ed *ExportData) Importer(fset *token.FileSet) *ExportDataImporter {
+	return &ExportDataImporter{imp: exportImporter(fset, ed.exports)}
+}
+
+// ExportDataImporter adapts ExportData to types.Importer.
+type ExportDataImporter struct{ imp types.Importer }
+
+func (e *ExportDataImporter) Import(path string) (*types.Package, error) {
+	return e.imp.Import(path)
+}
+
+// NewExportImporter returns a types.Importer that resolves imports from
+// gc export data files, applying importMap (source import path →
+// canonical path) first — the resolution scheme of vet's unit-checking
+// protocol, whose config hands the tool exactly these two maps.
+func NewExportImporter(fset *token.FileSet, packageFile, importMap map[string]string) types.Importer {
+	return importMapper{exportImporter(fset, packageFile), importMap}
+}
+
+// exportImporter returns a types.Importer that resolves every import from
+// gc export data files. paths maps import paths to export file names.
+func exportImporter(fset *token.FileSet, paths map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := paths[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return unsafeAware{importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// unsafeAware handles the "unsafe" pseudo-package, which has no export
+// data, before delegating to the gc importer.
+type unsafeAware struct{ next types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}
+
+// importMapper applies a per-package source-import → canonical-path map
+// (go list's ImportMap, used for vendoring) in front of an importer.
+type importMapper struct {
+	next types.Importer
+	m    map[string]string
+}
+
+func (im importMapper) Import(path string) (*types.Package, error) {
+	if r, ok := im.m[path]; ok {
+		path = r
+	}
+	return im.next.Import(path)
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestLoadModulePackage loads a real module package offline and checks
+// that full type information came back — the property every analyzer
+// depends on.
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "streamline/internal/rng" {
+		t.Fatalf("unexpected import path %q", pkg.ImportPath)
+	}
+	if pkg.Types == nil || pkg.TypesInfo == nil || len(pkg.Files) == 0 {
+		t.Fatal("package loaded without type information")
+	}
+	if obj := pkg.Types.Scope().Lookup("Derive"); obj == nil {
+		t.Fatal("rng.Derive not found in loaded package scope")
+	}
+	// Uses must resolve: pick any identifier and confirm the map is
+	// populated (an empty Uses map would blind every analyzer).
+	if len(pkg.TypesInfo.Uses) == 0 {
+		t.Fatal("TypesInfo.Uses is empty")
+	}
+	var found bool
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.TypesInfo.Uses[id] != nil {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		t.Fatal("no identifier resolved through TypesInfo.Uses")
+	}
+}
+
+// TestLoadDependentPackage checks cross-package resolution: runner
+// imports rng, and the import must resolve through export data.
+func TestLoadDependentPackage(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/runner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	found := false
+	for _, imp := range pkgs[0].Types.Imports() {
+		if imp.Path() == "streamline/internal/rng" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runner's rng import did not resolve")
+	}
+}

@@ -1,0 +1,297 @@
+// Package mapiter flags map iteration whose order can leak into results.
+//
+// Go randomizes map iteration order on purpose, so any value assembled
+// while ranging over a map — a slice built by append, a float running
+// sum, formatted output, values sent on a channel — differs from run to
+// run even with identical seeds. This is the classic Go determinism leak:
+// the code is correct under `go test` often enough to land, then breaks
+// the golden conformance suite once a map gains a second entry.
+//
+// The analyzer reports a `range` over a map whose body:
+//
+//   - appends to a slice declared outside the loop, unless every such
+//     slice is passed to a sort.* / slices.Sort* call after the loop in
+//     the same block (the idiomatic collect-then-sort);
+//   - accumulates into a float declared outside the loop (FP addition is
+//     not associative, so even a commutative reduction leaks order);
+//   - writes formatted output (fmt.Print*/Fprint* or the print builtins);
+//   - sends on a channel.
+//
+// Integer/boolean reductions and pure lookups are order-insensitive and
+// pass. Deliberate exceptions carry
+// `//detlint:allow mapiter -- <reason>`.
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"streamline/internal/analysis"
+)
+
+// Analyzer is the mapiter linter.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration that builds order-sensitive results without sorting",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass, rng) {
+				return true
+			}
+			checkMapRange(pass, rng, enclosingBlock(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// isMapRange reports whether rng iterates a map.
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one map-range body for order-sensitive effects.
+// block is the statement list enclosing rng, used to recognize
+// collect-then-sort.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, block *ast.BlockStmt) {
+	type appendSite struct {
+		obj  types.Object
+		site ast.Node
+	}
+	var appended []appendSite // first append site per slice var, in encounter order
+	seen := map[types.Object]bool{}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(s.Arrow, "send on a channel while ranging over a map: receivers observe random order; collect and sort the keys first")
+		case *ast.CallExpr:
+			if obj := calleeOf(pass, s); obj != nil {
+				if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && strings.Contains(obj.Name(), "rint") {
+					pass.Reportf(s.Pos(), "formatted output (fmt.%s) while ranging over a map is emitted in random order; sort the keys first", obj.Name())
+				}
+			} else if id, ok := s.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[id] != nil {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "print", "println":
+						pass.Reportf(s.Pos(), "%s while ranging over a map is emitted in random order; sort the keys first", b.Name())
+					case "append":
+						if obj := outerTarget(pass, s.Args[0], rng); obj != nil && !seen[obj] {
+							seen[obj] = true
+							appended = append(appended, appendSite{obj, s})
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkAccumulate(pass, s, rng)
+		}
+		return true
+	})
+	for _, a := range appended {
+		if !sortedAfter(pass, a.obj, rng, block) {
+			pass.Reportf(a.site.Pos(), "append to %s while ranging over a map without sorting afterwards: element order is random; sort %s after the loop or iterate sorted keys", a.obj.Name(), a.obj.Name())
+		}
+	}
+}
+
+// checkAccumulate reports float accumulation into a variable declared
+// outside the range body.
+func checkAccumulate(pass *analysis.Pass, s *ast.AssignStmt, rng *ast.RangeStmt) {
+	for i, lhs := range s.Lhs {
+		obj := outerTarget(pass, lhs, rng)
+		if obj == nil || !isFloat(obj.Type()) {
+			continue
+		}
+		accum := false
+		switch s.Tok.String() {
+		case "+=", "-=", "*=", "/=":
+			accum = true
+		case "=":
+			if i < len(s.Rhs) {
+				accum = mentionsObj(pass, s.Rhs[i], obj)
+			}
+		}
+		if accum {
+			pass.Reportf(s.Pos(), "floating-point accumulation into %s while ranging over a map: FP addition is not associative, so iteration order leaks into the sum; iterate sorted keys", obj.Name())
+		}
+	}
+}
+
+// outerTarget resolves expr to a variable object declared outside rng's
+// body (loop-local variables are order-safe); nil otherwise.
+func outerTarget(pass *analysis.Pass, expr ast.Expr, rng *ast.RangeStmt) types.Object {
+	for {
+		if p, ok := expr.(*ast.ParenExpr); ok {
+			expr = p.X
+			continue
+		}
+		break
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		// Field or index targets (acc.sum += v) are conservatively
+		// resolved through their root identifier.
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			return outerTarget(pass, e.X, rng)
+		case *ast.IndexExpr:
+			return outerTarget(pass, e.X, rng)
+		case *ast.StarExpr:
+			return outerTarget(pass, e.X, rng)
+		}
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	if rng.Body.Pos() <= obj.Pos() && obj.Pos() < rng.Body.End() {
+		return nil // declared inside the loop body
+	}
+	return obj
+}
+
+// isFloat reports whether t (possibly through a selector/index) is a
+// floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		// Struct/slice roots reached via outerTarget: treat float fields
+		// conservatively as non-float; the direct-identifier case covers
+		// the accumulator idiom.
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// mentionsObj reports whether expr references obj (x = x + v).
+func mentionsObj(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether obj is passed to a recognized sort call in
+// a statement after rng within block.
+func sortedAfter(pass *analysis.Pass, obj types.Object, rng *ast.RangeStmt, block *ast.BlockStmt) bool {
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		sorted := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			callee := calleeOf(pass, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			pkg := callee.Pkg().Path()
+			if (pkg == "sort" || pkg == "slices") && strings.Contains(callee.Name(), "Sort") ||
+				pkg == "sort" && isSortShorthand(callee.Name()) {
+				if arg := firstIdentObj(pass, call.Args[0]); arg == obj {
+					sorted = true
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortShorthand matches sort's non-"Sort"-named helpers.
+func isSortShorthand(name string) bool {
+	switch name {
+	case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Stable":
+		return true
+	}
+	return false
+}
+
+// firstIdentObj resolves expr's root identifier to its object.
+func firstIdentObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		case *ast.UnaryExpr:
+			expr = e.X
+			continue
+		}
+		break
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return pass.TypesInfo.Uses[id]
+	}
+	return nil
+}
+
+// calleeOf resolves a call's static callee, or nil for builtins,
+// conversions, and dynamic calls.
+func calleeOf(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[f.Sel]; obj != nil {
+			if _, isFunc := obj.(*types.Func); isFunc {
+				return obj
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[f]; obj != nil {
+			if _, isFunc := obj.(*types.Func); isFunc {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// enclosingBlock returns the innermost BlockStmt on the stack that
+// directly contains the top-of-stack statement.
+func enclosingBlock(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			return b
+		}
+	}
+	return nil
+}

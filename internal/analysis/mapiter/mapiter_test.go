@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"streamline/internal/analysis/analysistest"
+	"streamline/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "bad", "good", "allow")
+}

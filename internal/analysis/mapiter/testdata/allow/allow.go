@@ -1,0 +1,19 @@
+// Fixture: //detlint:allow suppression semantics for mapiter.
+package fixture
+
+import "fmt"
+
+// debugDump is a deliberate, annotated exception (e.g. debug output whose
+// order genuinely does not matter).
+func debugDump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //detlint:allow mapiter -- debug dump; order is irrelevant by design
+	}
+}
+
+// unannotated still fails.
+func unannotated(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `formatted output \(fmt.Println\) while ranging over a map`
+	}
+}

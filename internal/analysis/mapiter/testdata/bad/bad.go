@@ -1,0 +1,60 @@
+// Fixture: order-sensitive map iteration mapiter must reject.
+package fixture
+
+import "fmt"
+
+// unsortedAppend is the classic leak: the slice's element order is the
+// map's random iteration order.
+func unsortedAppend(m map[string]int) []string {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id) // want `append to ids while ranging over a map without sorting`
+	}
+	return ids
+}
+
+// floatSum leaks because FP addition is not associative, even though a
+// sum looks order-free.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// selfAssign is the same accumulation spelled without the compound token.
+func selfAssign(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// printed emits rows in random order.
+func printed(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `formatted output \(fmt.Printf\) while ranging over a map`
+	}
+}
+
+// sent delivers values to the channel's consumer in random order.
+func sent(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `send on a channel while ranging over a map`
+	}
+}
+
+// sortedOther sorts a different slice than the one appended to, which
+// does not launder the appended one.
+func sortedOther(m map[string]int, other []string) []string {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id) // want `append to ids while ranging over a map without sorting`
+	}
+	sortStrings(other)
+	return ids
+}
+
+func sortStrings(s []string) {}

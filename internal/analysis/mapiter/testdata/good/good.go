@@ -1,0 +1,67 @@
+// Fixture: map iteration patterns mapiter must accept.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// collectThenSort is the idiomatic fix: gather keys, sort, then use.
+func collectThenSort(m map[string]int) []string {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// collectThenSortSlice covers the comparator form.
+func collectThenSortSlice(m map[string]int) []string {
+	var ids []string
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// intReduction is associative and commutative: order cannot leak.
+func intReduction(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// lookupOnly reads without building anything order-sensitive.
+func lookupOnly(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// loopLocal appends to a slice declared inside the body: its lifetime is
+// one iteration, so order cannot leak out.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// sliceRange is not a map range at all; printing from it is ordered.
+func sliceRange(ids []string) {
+	for _, id := range ids {
+		fmt.Println(id)
+	}
+}

@@ -1,0 +1,373 @@
+// Package seedderive forbids ambient randomness.
+//
+// Every random choice in the simulator must flow from a seed derived
+// hierarchically with streamline/internal/rng.Derive, so that a run's PRNG
+// stream depends only on (root seed, experiment, point, rep) — never on
+// process start time, global generator state shared across goroutines, or
+// the order in which workers happen to execute. math/rand breaks that
+// contract twice over: its top-level functions draw from a process-global
+// source (auto-seeded since Go 1.20, lock-contended, and shared across
+// every caller), and a locally constructed rand.New is only as
+// reproducible as the seed handed to it.
+//
+// The analyzer therefore reports:
+//
+//   - any reference to a math/rand or math/rand/v2 top-level function or
+//     variable (rand.Int, rand.Shuffle, rand.Perm, ...);
+//   - rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8 whose
+//     seed argument does not visibly derive from rng.Derive or from a
+//     parameter of the enclosing function (parameters are trusted: the
+//     caller owns the derivation, as in runner.Func's seed argument).
+//
+// A seed "visibly derives" when the argument is an rng.Derive call, a
+// function parameter, a local whose single `:=`/var initialization is
+// itself derived, or an expression combining a derived operand with
+// constants (seed^0xbead). Anything else — literals are deterministic but
+// collide across call sites, time.Now().UnixNano() is the classic leak —
+// is reported; annotate deliberate exceptions with
+// `//detlint:allow seedderive -- <reason>`.
+package seedderive
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamline/internal/analysis"
+)
+
+// Analyzer is the seedderive linter.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedderive",
+	Doc:  "forbid math/rand globals and PRNGs whose seed does not flow from rng.Derive or a parameter",
+	Run:  run,
+}
+
+// randPkgs are the ambient-randomness packages being policed.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// derivePkg.deriveFunc is the blessed seed-derivation root.
+const (
+	derivePkg  = "streamline/internal/rng"
+	deriveFunc = "Derive"
+)
+
+// constructors are the functions whose seed-carrying arguments are
+// checked rather than rejected outright, keyed by name with the indices
+// of those arguments (rand.NewZipf's trailing shape parameters, for
+// example, are not seeds).
+var constructors = map[string][]int{
+	"New":       {0},    // rand.New(Source)
+	"NewSource": {0},    // rand.NewSource(seed)
+	"NewPCG":    {0, 1}, // rand/v2.NewPCG(seed1, seed2)
+	"NewZipf":   {0},    // rand.NewZipf(r, s, v, imax): r carries the seed
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || !randPkgs[obj.Pkg().Path()] {
+				return true
+			}
+			// Only package-level objects matter: methods on a *Rand the
+			// code legitimately constructed are fine.
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			if _, isCtor := constructors[obj.Name()]; isCtor {
+				checkConstructor(pass, id, stack)
+				return true
+			}
+			switch obj.(type) {
+			case *types.Func:
+				pass.Reportf(id.Pos(), "call to %s.%s uses the process-global generator; derive a stream with rng.New(rng.Derive(...)) instead", obj.Pkg().Name(), obj.Name())
+			case *types.Var:
+				pass.Reportf(id.Pos(), "reference to %s.%s shares ambient generator state; derive a stream with rng.New(rng.Derive(...)) instead", obj.Pkg().Name(), obj.Name())
+			case *types.TypeName:
+				// Declaring a variable of type rand.Source etc. is fine.
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkConstructor validates the seed argument of a rand.New-family call.
+// id is the callee identifier; stack is the enclosing node path.
+func checkConstructor(pass *analysis.Pass, id *ast.Ident, stack []ast.Node) {
+	call := enclosingCall(stack, id)
+	if call == nil {
+		// A bare reference (e.g. taking rand.NewSource's address) gives
+		// us no seed to inspect; treat as ambient use.
+		pass.Reportf(id.Pos(), "reference to %s does not let the seed derivation be checked; call it directly with an rng.Derive-derived seed", id.Name)
+		return
+	}
+	fn := enclosingFunc(stack)
+	for _, i := range constructors[id.Name] {
+		if i >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[i]
+		if isSourceOrSeed(pass, arg) && !derived(pass, arg, fn) {
+			pass.Reportf(arg.Pos(), "seed for %s does not flow from rng.Derive or a function parameter", id.Name)
+		}
+	}
+}
+
+// enclosingCall returns the CallExpr whose Fun resolves (through
+// selectors/parens) to id, or nil.
+func enclosingCall(stack []ast.Node, id *ast.Ident) *ast.CallExpr {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if call, ok := stack[i].(*ast.CallExpr); ok {
+			fun := call.Fun
+			for {
+				switch f := fun.(type) {
+				case *ast.ParenExpr:
+					fun = f.X
+					continue
+				case *ast.SelectorExpr:
+					fun = f.Sel
+					continue
+				}
+				break
+			}
+			if fun == ast.Expr(id) {
+				return call
+			}
+		}
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// isSourceOrSeed reports whether the argument is a seed-bearing value: an
+// integer (the seed itself) or a rand Source/PCG-style value built from
+// one. String/float shape parameters (rand.NewZipf's s, v) are skipped.
+func isSourceOrSeed(pass *analysis.Pass, arg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return true // unresolved: be conservative, check it
+	}
+	t := tv.Type.Underlying()
+	if b, ok := t.(*types.Basic); ok {
+		return b.Info()&types.IsInteger != 0
+	}
+	// Interfaces (rand.Source) and pointers (*rand.Rand) carry seeds.
+	switch t.(type) {
+	case *types.Interface, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// derived reports whether expr visibly derives from rng.Derive or a
+// parameter of fn.
+func derived(pass *analysis.Pass, expr ast.Expr, fn ast.Node) bool {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		return derived(pass, e.X, fn)
+	case *ast.CallExpr:
+		if callee := typeutilCallee(pass, e); callee != nil {
+			if callee.Pkg() != nil && callee.Pkg().Path() == derivePkg && callee.Name() == deriveFunc {
+				return true
+			}
+			// A conversion or a nested constructor: derived iff every
+			// seed-bearing argument is derived (rand.New(rand.NewSource(s))).
+			if _, isCtor := constructors[callee.Name()]; isCtor || isConversion(pass, e) {
+				return argsDerived(pass, e, fn)
+			}
+			// Spec.Seed-style helpers: a method named Seed on a value is
+			// trusted — it exists precisely to wrap rng.Derive.
+			if callee.Name() == "Seed" {
+				return true
+			}
+			return false
+		}
+		if isConversion(pass, e) {
+			return argsDerived(pass, e, fn)
+		}
+		return false
+	case *ast.BinaryExpr:
+		// seed ^ 0xbead keeps the derivation; two underived operands
+		// don't create one.
+		return derived(pass, e.X, fn) || derived(pass, e.Y, fn)
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if isParamOf(pass, obj, fn) {
+			return true
+		}
+		return localDerivedInit(pass, e, obj, fn)
+	case *ast.SelectorExpr:
+		// A field of a parameter (opts.Seed) is the caller's derivation.
+		root := e.X
+		for {
+			if p, ok := root.(*ast.ParenExpr); ok {
+				root = p.X
+				continue
+			}
+			if s, ok := root.(*ast.SelectorExpr); ok {
+				root = s.X
+				continue
+			}
+			break
+		}
+		if id, ok := root.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && isParamOf(pass, obj, fn) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// argsDerived reports whether every seed-bearing argument of call is
+// derived.
+func argsDerived(pass *analysis.Pass, call *ast.CallExpr, fn ast.Node) bool {
+	for _, arg := range call.Args {
+		if isSourceOrSeed(pass, arg) && !derived(pass, arg, fn) {
+			return false
+		}
+	}
+	return len(call.Args) > 0
+}
+
+// typeutilCallee resolves a call's static callee object, or nil.
+func typeutilCallee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[f]; obj != nil {
+			if _, ok := obj.(*types.TypeName); ok {
+				return nil // conversion, handled separately
+			}
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[f]; ok {
+			return sel.Obj()
+		}
+		if obj := pass.TypesInfo.Uses[f.Sel]; obj != nil {
+			if _, ok := obj.(*types.TypeName); ok {
+				return nil
+			}
+			return obj
+		}
+	}
+	return nil
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isParamOf reports whether obj is declared in fn's parameter (or
+// receiver/result) list.
+func isParamOf(pass *analysis.Pass, obj types.Object, fn ast.Node) bool {
+	if fn == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	var ft *ast.FuncType
+	var recv *ast.FieldList
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		ft = f.Type
+		recv = f.Recv
+	case *ast.FuncLit:
+		ft = f.Type
+	default:
+		return false
+	}
+	in := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		return fl.Pos() <= v.Pos() && v.Pos() < fl.End()
+	}
+	return in(ft.Params) || in(ft.Results) || in(recv)
+}
+
+// localDerivedInit reports whether the local variable behind use has a
+// single visible initialization (`seed := ...` or `var seed = ...`) whose
+// right-hand side is itself derived. One level of indirection covers the
+// idiomatic `seed := rng.Derive(root, ...); r := rng.New(seed)` shape
+// without building a full dataflow graph.
+func localDerivedInit(pass *analysis.Pass, use *ast.Ident, obj types.Object, fn ast.Node) bool {
+	if fn == nil {
+		return false
+	}
+	var body *ast.BlockStmt
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		body = f.Body
+	case *ast.FuncLit:
+		body = f.Body
+	}
+	if body == nil {
+		return false
+	}
+	var init ast.Expr
+	writes := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[id] == obj || pass.TypesInfo.Uses[id] == obj {
+				writes++
+				init = assign.Rhs[i]
+			}
+		}
+		return true
+	})
+	// Reassigned variables would need real dataflow; trust only the
+	// single-write case.
+	if writes != 1 || init == nil || init == ast.Expr(use) {
+		return false
+	}
+	return derived(pass, init, fn)
+}

@@ -1,0 +1,12 @@
+package seedderive_test
+
+import (
+	"testing"
+
+	"streamline/internal/analysis/analysistest"
+	"streamline/internal/analysis/seedderive"
+)
+
+func TestSeedDerive(t *testing.T) {
+	analysistest.Run(t, seedderive.Analyzer, "bad", "good", "allow")
+}

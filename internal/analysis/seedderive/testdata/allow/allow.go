@@ -1,0 +1,22 @@
+// Fixture: //detlint:allow suppression semantics for seedderive.
+package fixture
+
+import "math/rand"
+
+// suppressed findings carry an allow with a reason and vanish.
+func suppressed() {
+	_ = rand.Int() //detlint:allow seedderive -- fixture demonstrating trailing suppression
+
+	//detlint:allow seedderive -- fixture demonstrating standalone suppression
+	_ = rand.Intn(10)
+}
+
+// wrongName suppresses a different analyzer, so the finding survives.
+func wrongName() {
+	_ = rand.Int() //detlint:allow wallclock -- names the wrong analyzer // want `process-global generator`
+}
+
+// reasonless allows are themselves findings.
+func reasonless() {
+	_ = rand.Int() //detlint:allow seedderive // want `needs a reason` `process-global generator`
+}

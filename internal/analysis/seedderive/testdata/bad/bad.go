@@ -1,0 +1,38 @@
+// Fixture: every ambient-randomness pattern seedderive must reject.
+package fixture
+
+import (
+	"math/rand"
+)
+
+// globalFuncs exercises the process-global generator, which is shared
+// state whose draw order depends on every other caller in the process.
+func globalFuncs() int {
+	n := rand.Int()      // want `process-global generator`
+	n += rand.Intn(10)   // want `process-global generator`
+	rand.Shuffle(n, nil) // want `process-global generator`
+	_ = rand.Float64()   // want `process-global generator`
+	_ = rand.Perm(4)     // want `process-global generator`
+	f := rand.Uint64     // want `process-global generator`
+	_ = f
+	return n
+}
+
+// underivedSeeds builds local generators, but from seeds that do not flow
+// from rng.Derive or a parameter.
+func underivedSeeds() {
+	src := rand.NewSource(42) // want `does not flow from rng.Derive`
+	r := rand.New(src)        // want `does not flow from rng.Derive`
+	_ = r
+
+	// Even a fresh literal-seeded generator inline is a collision across
+	// call sites, not a derivation.
+	_ = rand.New(rand.NewSource(1)) // want `does not flow from rng.Derive` `does not flow from rng.Derive`
+}
+
+// laundered shows that a local initialized from an underived value stays
+// underived through the one-level flow check.
+func laundered() {
+	seed := int64(7)
+	_ = rand.NewSource(seed) // want `does not flow from rng.Derive`
+}

@@ -1,0 +1,46 @@
+// Fixture: seed flows seedderive must accept — the negative cases proving
+// rng.Derive-seeded and parameter-seeded generators pass.
+package fixture
+
+import (
+	"math/rand"
+
+	"streamline/internal/rng"
+)
+
+// fromParameter trusts the caller's derivation, exactly like the seed
+// argument of runner.Func.
+func fromParameter(seed uint64) int {
+	r := rand.New(rand.NewSource(int64(seed)))
+	return r.Int()
+}
+
+// fromDerive seeds directly from the blessed derivation root.
+func fromDerive(root uint64) int {
+	r := rand.New(rand.NewSource(int64(rng.Derive(root, 1, 2))))
+	return r.Int()
+}
+
+// throughLocal covers the idiomatic two-step: derive once, seed later.
+func throughLocal(root uint64) int {
+	seed := rng.Derive(root, 3)
+	src := rand.NewSource(int64(seed))
+	return rand.New(src).Int()
+}
+
+// decorated keeps the derivation through constant mixing (seed ^ 0xbead)
+// and through a field of a parameter.
+type opts struct{ Seed uint64 }
+
+func decorated(o opts, seed uint64) {
+	_ = rand.NewSource(int64(seed ^ 0xbead))
+	_ = rand.NewSource(int64(o.Seed))
+}
+
+// methodsAllowed uses a locally constructed generator's methods freely —
+// only the package-level functions are ambient.
+func methodsAllowed(seed uint64) float64 {
+	r := rand.New(rand.NewSource(int64(seed)))
+	r.Shuffle(4, func(i, j int) {})
+	return r.Float64()
+}

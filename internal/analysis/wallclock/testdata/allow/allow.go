@@ -1,0 +1,20 @@
+// Fixture: //detlint:allow suppression semantics for wallclock.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+// display mirrors the repo's annotated progress-timing call sites.
+func display() {
+	start := time.Now() //detlint:allow wallclock -- display-only elapsed timing in a fixture
+
+	//detlint:allow wallclock -- standalone form covering the next line
+	fmt.Println(time.Since(start).Round(time.Millisecond))
+}
+
+// unannotated clock reads still fail.
+func unannotated() time.Time {
+	return time.Now() // want `host clock read`
+}

@@ -1,0 +1,23 @@
+// Fixture: host clock reads wallclock must reject.
+package fixture
+
+import "time"
+
+// reads pulls wall-clock values that could leak into results.
+func reads() time.Duration {
+	start := time.Now()    // want `host clock read`
+	d := time.Since(start) // want `host clock read`
+	d += time.Until(start) // want `host clock read`
+	return d
+}
+
+// waits block on the host scheduler, coupling results to real time.
+func waits() {
+	time.Sleep(time.Millisecond) // want `host scheduling wait`
+	<-time.After(time.Second)    // want `host scheduling wait`
+	t := time.NewTimer(0)        // want `host scheduling wait`
+	t.Stop()
+	k := time.NewTicker(1) // want `host scheduling wait`
+	k.Stop()
+	time.AfterFunc(0, func() {}) // want `host scheduling wait`
+}

@@ -1,0 +1,21 @@
+// Fixture: time-package uses that never read the clock — duration
+// arithmetic, formatting, and explicit construction all pass.
+package fixture
+
+import "time"
+
+func durations(cycles uint64, freqMHz int) string {
+	period := time.Duration(cycles/uint64(freqMHz)) * time.Microsecond
+	rounded := period.Round(time.Millisecond)
+	return rounded.String()
+}
+
+func construction() time.Time {
+	// A fixed instant is deterministic; only reading the current one is a
+	// leak.
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+func parsing(s string) (time.Duration, error) {
+	return time.ParseDuration(s)
+}

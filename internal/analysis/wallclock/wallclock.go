@@ -1,0 +1,73 @@
+// Package wallclock forbids reading the host's clock.
+//
+// Simulated time in this repository is counted in cycles by the cache
+// model; host wall-clock values must never reach an experiment result, or
+// the result stops being a pure function of its seed. The analyzer reports
+// every use of the time package's clock-reading and scheduling functions:
+//
+//	time.Now, time.Since, time.Until, time.Sleep, time.After, time.Tick,
+//	time.NewTimer, time.NewTicker, time.AfterFunc
+//
+// Duration arithmetic, formatting (d.Round, time.Duration conversions),
+// and the time.Time/time.Duration types themselves are fine — the
+// invariant is about *reading* the clock, not about mentioning time.
+//
+// Legitimate display-only uses (the runner's per-run progress timing,
+// cmd/* elapsed reporting) are annotated at the call site:
+//
+//	//detlint:allow wallclock -- display-only elapsed time, never reaches results
+//
+// which keeps the exemption visible in the diff whenever such code moves.
+package wallclock
+
+import (
+	"go/ast"
+
+	"streamline/internal/analysis"
+)
+
+// Analyzer is the wallclock linter.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid host clock reads (time.Now/Since/Sleep/...) outside annotated display paths",
+	Run:  run,
+}
+
+// forbidden lists the time-package functions that read or wait on the
+// host clock.
+var forbidden = map[string]string{
+	"Now":       "clock read",
+	"Since":     "clock read",
+	"Until":     "clock read",
+	"Sleep":     "scheduling wait",
+	"After":     "scheduling wait",
+	"Tick":      "scheduling wait",
+	"NewTimer":  "scheduling wait",
+	"NewTicker": "scheduling wait",
+	"AfterFunc": "scheduling wait",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true // methods like Duration.Round are fine
+			}
+			kind, bad := forbidden[obj.Name()]
+			if !bad {
+				return true
+			}
+			pass.Reportf(id.Pos(), "time.%s is a host %s; simulated time comes from the cycle counter (annotate display-only uses with //detlint:allow wallclock -- <reason>)", obj.Name(), kind)
+			return true
+		})
+	}
+	return nil
+}

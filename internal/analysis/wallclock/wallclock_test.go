@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"streamline/internal/analysis/analysistest"
+	"streamline/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "bad", "good", "allow")
+}

@@ -102,11 +102,11 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 
 	if workers == 1 {
 		for i, s := range specs {
-			start := time.Now()
+			elapsed := stopwatch()
 			out, err := fn(s, s.Seed(opt.Root))
 			if opt.Hook != nil {
 				opt.Hook(Event{Spec: s, Index: i, Done: i + 1, Total: n,
-					Elapsed: time.Since(start), Err: err})
+					Elapsed: elapsed(), Err: err})
 			}
 			if err != nil {
 				return nil, fmt.Errorf("%s point %d rep %d: %w",
@@ -143,7 +143,7 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 			defer wg.Done()
 			for i := range next {
 				s := specs[i]
-				start := time.Now()
+				elapsed := stopwatch()
 				out, err := fn(s, s.Seed(opt.Root))
 				mu.Lock()
 				done++
@@ -155,7 +155,7 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 				}
 				if opt.Hook != nil {
 					opt.Hook(Event{Spec: s, Index: i, Done: done, Total: n,
-						Elapsed: time.Since(start), Err: err})
+						Elapsed: elapsed(), Err: err})
 				}
 				mu.Unlock()
 			}
@@ -170,6 +170,17 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 		}
 	}
 	return results, nil
+}
+
+// stopwatch starts timing a run and returns a function reporting the
+// elapsed wall time. It is the package's only clock access, and it feeds
+// Event.Elapsed exclusively — progress display, never results (results
+// come back in spec order regardless of how long each run took).
+func stopwatch() func() time.Duration {
+	start := time.Now() //detlint:allow wallclock -- informational per-run timing for Event.Elapsed; never reaches results
+	return func() time.Duration {
+		return time.Since(start) //detlint:allow wallclock -- informational per-run timing for Event.Elapsed; never reaches results
+	}
 }
 
 // Progress returns a Hook that writes one line per completed run to w,
