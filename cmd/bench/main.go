@@ -1,0 +1,406 @@
+// Command bench is the repository's performance-trajectory harness: it runs
+// a fixed-scale subset of the simulator's hot paths under testing.Benchmark
+// and emits a machine-readable BENCH_<date>.json (ns/op, allocs/op, and
+// simulated-KB-per-wall-second where the workload is a channel run) so that
+// successive PRs can be compared number-for-number.
+//
+// Unlike `go test -bench`, the workload per op is pinned (scaled only by
+// -scale), so two JSON files measure the same work and their ns/op ratios
+// are meaningful. Compare against a previous report with -baseline:
+//
+//	bench                                   # writes BENCH_<date>.json
+//	bench -scale 0.25 -out BENCH_ci.json    # CI smoke scale
+//	bench -baseline BENCH_2026-08-06.json   # fail on >30% ns/op regression
+//	bench -baseline old.json -threshold 0.1
+//
+// All wall-clock readings happen inside the testing package's benchmark
+// runner and the one annotated date stamp below; simulated results never
+// see the host clock (see DESIGN.md "Determinism invariants").
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"streamline/internal/cache"
+	"streamline/internal/core"
+	"streamline/internal/experiments"
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/params"
+	"streamline/internal/payload"
+)
+
+// Schema is the report format version; bump it when Benchmark fields change
+// incompatibly.
+const Schema = 1
+
+// Benchmark is one measured entry of a report.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`                       // iterations the runner settled on
+	NsPerOp     float64 `json:"ns_per_op"`                 // wall nanoseconds per op
+	AllocsPerOp float64 `json:"allocs_per_op"`             // heap allocations per op
+	SimKBPerS   float64 `json:"sim_kb_per_s,omitempty"`    // simulated KB transmitted per wall second (channel workloads)
+	SimErrPct   float64 `json:"sim_err_pct,omitempty"`     // simulated channel error % (sanity check, deterministic)
+	BitsPerOp   int     `json:"bits_per_op,omitempty"`     // channel bits simulated per op
+	AccessPerOp int     `json:"accesses_per_op,omitempty"` // raw accesses per op (micro benches)
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Schema     int         `json:"schema"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Scale      float64     `json:"scale"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		baseline  = flag.String("baseline", "", "previous report to compare against (empty: no comparison)")
+		threshold = flag.Float64("threshold", 0.30, "fail when ns/op regresses by more than this fraction vs -baseline")
+		scale     = flag.Float64("scale", 1.0, "workload multiplier (CI smoke uses 0.25)")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark measurement budget (testing -benchtime)")
+		run       = flag.String("run", "", "only run benchmarks whose name matches this regexp (for iterating; filtered reports should not be used as -baseline)")
+	)
+	testing.Init()
+	flag.Parse()
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "bench: -scale must be positive")
+		os.Exit(2)
+	}
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: bad -benchtime: %v\n", err)
+		os.Exit(2)
+	}
+
+	rep := Report{
+		Schema:    Schema,
+		Date:      today(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Scale:     *scale,
+	}
+	var filter *regexp.Regexp
+	if *run != "" {
+		var err error
+		if filter, err = regexp.Compile(*run); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: bad -run: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, b := range suite(*scale) {
+		if filter != nil && !filter.MatchString(b.name) {
+			continue
+		}
+		fmt.Printf("%-24s ", b.name)
+		// Isolate entries from each other: without this, later benchmarks
+		// inherit the heap (and GC pacing) the earlier ones grew, which
+		// showed up as >40% phantom regressions on the last entry.
+		runtime.GC()
+		res := testing.Benchmark(b.fn)
+		entry := Benchmark{
+			Name:        b.name,
+			Ops:         res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+		}
+		if b.bitsPerOp > 0 {
+			entry.BitsPerOp = b.bitsPerOp
+			entry.SimKBPerS = float64(b.bitsPerOp) / 8192.0 / (entry.NsPerOp * 1e-9)
+			entry.SimErrPct = b.simErrPct()
+		}
+		if b.accessPerOp > 0 {
+			entry.AccessPerOp = b.accessPerOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, entry)
+		fmt.Printf("%12.0f ns/op %8.1f allocs/op", entry.NsPerOp, entry.AllocsPerOp)
+		if entry.SimKBPerS > 0 {
+			fmt.Printf("  %8.0f sim-KB/s  %5.2f sim-err-%%", entry.SimKBPerS, entry.SimErrPct)
+		}
+		fmt.Println()
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	if err := writeReport(path, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	if *baseline != "" {
+		ok, err := compare(os.Stdout, *baseline, rep, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+// today stamps the report and default filename.
+func today() string {
+	return time.Now().Format("2006-01-02") //detlint:allow wallclock -- report date stamp on the display/reporting path; never reaches simulated results
+}
+
+func writeReport(path string, rep Report) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare prints a delta table of rep vs the baseline report at path and
+// reports whether every shared benchmark is within the regression threshold.
+// Workload scales must match for ns/op ratios to mean anything.
+func compare(w *os.File, path string, rep Report, threshold float64) (ok bool, err error) {
+	base, err := readReport(path)
+	if err != nil {
+		return false, err
+	}
+	if base.Scale != rep.Scale {
+		return false, fmt.Errorf("scale mismatch: baseline %v vs current %v (rerun with -scale %v)",
+			base.Scale, rep.Scale, base.Scale)
+	}
+	prev := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+	ok = true
+	fmt.Fprintf(w, "vs %s (%s):\n", path, base.Date)
+	for _, b := range rep.Benchmarks {
+		p, found := prev[b.Name]
+		if !found || p.NsPerOp <= 0 {
+			fmt.Fprintf(w, "  %-24s (new)\n", b.Name)
+			continue
+		}
+		ratio := b.NsPerOp / p.NsPerOp
+		verdict := "ok"
+		switch {
+		case ratio > 1+threshold:
+			verdict = "REGRESSION"
+			ok = false
+		case ratio < 1/(1+threshold):
+			verdict = "improved"
+		}
+		fmt.Fprintf(w, "  %-24s %12.0f -> %12.0f ns/op  %5.2fx  %s\n",
+			b.Name, p.NsPerOp, b.NsPerOp, ratio, verdict)
+	}
+	if !ok {
+		fmt.Fprintf(w, "FAIL: ns/op regression beyond %.0f%% threshold\n", threshold*100)
+	}
+	return ok, nil
+}
+
+// bench is one suite entry: a fixed workload wrapped for testing.Benchmark.
+type bench struct {
+	name        string
+	fn          func(b *testing.B)
+	bitsPerOp   int
+	accessPerOp int
+	simErrPct   func() float64
+}
+
+// scaled rounds n*scale up to at least 1.
+func scaled(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// suite builds the fixed-scale benchmark set. Workloads mirror the hot
+// paths the channel experiments exercise: the end-to-end channel, the
+// cache-level access paths (thrash, MRU hit, set-scan hit, private PLRU),
+// the hierarchy fast path, and one full experiment regeneration.
+func suite(scale float64) []bench {
+	var suite []bench
+
+	// End-to-end channel run: the acceptance metric. One op simulates
+	// `bits` channel bits through the default (paper) configuration.
+	bits := scaled(400_000, scale)
+	var lastErrRate float64
+	suite = append(suite, bench{
+		name:      "channel/default",
+		bitsPerOp: bits,
+		simErrPct: func() float64 { return lastErrRate * 100 },
+		fn: func(b *testing.B) {
+			pay := payload.Random(1, bits)
+			cfg := core.DefaultConfig()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg, pay)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastErrRate = res.Errors.Rate()
+			}
+		},
+	})
+
+	// LLC access path under thrash: every access misses and evicts once
+	// the cache is warm (the sender's steady state).
+	thrashN := scaled(2_000_000, scale)
+	suite = append(suite, bench{
+		name:        "cache/llc-thrash",
+		accessPerOp: thrashN,
+		fn: func(b *testing.B) {
+			c, err := cache.New(8192, 16, cache.NewSkylakeLLC(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			l := mem.Line(0)
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < thrashN; j++ {
+					c.Access(l)
+					l++
+				}
+			}
+		},
+	})
+
+	// Repeated hit to one line: the last-hit-way fast path.
+	hitN := scaled(8_000_000, scale)
+	suite = append(suite, bench{
+		name:        "cache/llc-hit-mru",
+		accessPerOp: hitN,
+		fn: func(b *testing.B) {
+			c, err := cache.New(8192, 16, cache.NewSkylakeLLC(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Access(3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < hitN; j++ {
+					c.Access(3)
+				}
+			}
+		},
+	})
+
+	// Round-robin hits over 8 same-set lines: defeats the MRU hint, so
+	// this times the way scan itself.
+	scanN := scaled(4_000_000, scale)
+	suite = append(suite, bench{
+		name:        "cache/llc-hit-scan",
+		accessPerOp: scanN,
+		fn: func(b *testing.B) {
+			c, err := cache.New(8192, 16, cache.NewSkylakeLLC(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < 8; j++ {
+				c.Access(mem.Line(j * 8192)) // all map to set 0
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < scanN; j++ {
+					c.Access(mem.Line((j & 7) * 8192))
+				}
+			}
+		},
+	})
+
+	// Private-cache PLRU mix (64-set L1 shape): hits and misses.
+	plruN := scaled(4_000_000, scale)
+	suite = append(suite, bench{
+		name:        "cache/plru-mixed",
+		accessPerOp: plruN,
+		fn: func(b *testing.B) {
+			c, err := cache.New(64, 8, cache.NewTreePLRU())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < plruN; j++ {
+					c.Access(mem.Line(j*7) & 1023)
+				}
+			}
+		},
+	})
+
+	// Full-hierarchy demand loads on the default machine: the single-
+	// domain no-TLB configuration every paper experiment uses, walking a
+	// Streamline-like stride (3 lines) that defeats the prefetchers.
+	hierN := scaled(500_000, scale)
+	suite = append(suite, bench{
+		name:        "hier/stream",
+		accessPerOp: hierN,
+		fn: func(b *testing.B) {
+			h, err := hier.New(params.SkylakeE3(), hier.Options{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			region := mem.NewAllocator(h.Machine().PageSize).Alloc(64 << 20)
+			stride := 3 * h.Geometry().LineBytes
+			b.ReportAllocs()
+			b.ResetTimer()
+			off, now := 0, uint64(0)
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < hierN; j++ {
+					r := h.Access(0, region.AddrAt(off), now)
+					now += uint64(r.Latency)
+					off += stride
+					if off >= region.Size {
+						off = 0
+					}
+				}
+			}
+		},
+	})
+
+	// One full experiment regeneration at smoke scale: ties the micro
+	// numbers to the `-exp` wall times EXPERIMENTS.md reports.
+	suite = append(suite, bench{
+		name: "experiments/table1-quick",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run("table1", experiments.Opts{Seed: 1, Quick: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	return suite
+}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"streamline/internal/experiments"
@@ -26,15 +28,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (or 'all')")
-		list    = flag.Bool("list", false, "list experiment ids")
-		seed    = flag.Uint64("seed", 1, "base seed (per-run seeds derive from it hierarchically)")
-		runs    = flag.Int("runs", 0, "repetitions per data point (0 = default 3; paper uses 5)")
-		full    = flag.Bool("full", false, "paper-scale payload sizes (up to 1e9 bits; hours)")
-		quick   = flag.Bool("quick", false, "smoke-test sizes")
-		quiet   = flag.Bool("quiet", false, "suppress progress and timing lines")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+		exp        = flag.String("exp", "", "experiment id (or 'all')")
+		list       = flag.Bool("list", false, "list experiment ids")
+		seed       = flag.Uint64("seed", 1, "base seed (per-run seeds derive from it hierarchically)")
+		runs       = flag.Int("runs", 0, "repetitions per data point (0 = default 3; paper uses 5)")
+		full       = flag.Bool("full", false, "paper-scale payload sizes (up to 1e9 bits; hours)")
+		quick      = flag.Bool("quick", false, "smoke-test sizes")
+		quiet      = flag.Bool("quiet", false, "suppress progress and timing lines")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers    = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
 	)
 	flag.BoolVar(quiet, "q", false, "shorthand for -quiet")
 	flag.Parse()
@@ -52,6 +56,37 @@ func main() {
 	if *exp != "all" && !experiments.Known(*exp) {
 		fmt.Fprintf(os.Stderr, "sweep: unknown experiment %q (see -list for ids)\n", *exp)
 		os.Exit(2)
+	}
+
+	// Profiling hooks for hot-path work (see DESIGN.md "Performance").
+	// The profiles sample host time, but only decorate the run the way the
+	// stderr progress lines do: experiment output on stdout stays a pure
+	// function of the seed.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live + cumulative allocs
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			}
+		}()
 	}
 
 	prog := newProgress(os.Stderr, *quiet)

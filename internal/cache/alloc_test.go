@@ -1,0 +1,51 @@
+package cache
+
+import (
+	"testing"
+
+	"streamline/internal/mem"
+)
+
+// The channel experiments push hundreds of millions of operations through
+// one Cache value; a single allocation per op turns directly into GC time.
+// These regression tests pin the access paths at zero allocs/op.
+
+func assertZeroAllocs(t *testing.T, what string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(500, f); avg != 0 {
+		t.Errorf("%s allocates %v times per op, want 0", what, avg)
+	}
+}
+
+func TestAccessPathZeroAllocs(t *testing.T) {
+	c := mustNew(t, 64, 8, NewSkylakeLLC(1))
+	var l mem.Line
+	assertZeroAllocs(t, "Cache.Access (miss+evict)", func() {
+		c.Access(l)
+		l++
+	})
+	c.Access(7)
+	assertZeroAllocs(t, "Cache.Access (hit)", func() { c.Access(7) })
+
+	var p mem.Line = 1 << 20
+	assertZeroAllocs(t, "Cache.InstallPrefetch", func() {
+		c.InstallPrefetch(p)
+		p++
+	})
+	assertZeroAllocs(t, "Cache.Invalidate+Flush", func() {
+		c.Access(3)
+		c.Invalidate(3)
+		c.Flush(3)
+	})
+}
+
+func TestGenericPolicyPathZeroAllocs(t *testing.T) {
+	// The interface path (ablation policies) must stay allocation free
+	// too: LRU exercises the generic OnHit/OnMiss/Victim dispatch.
+	c := mustNew(t, 64, 8, NewLRU())
+	var l mem.Line
+	assertZeroAllocs(t, "Cache.Access via Policy interface", func() {
+		c.Access(l)
+		l++
+	})
+}

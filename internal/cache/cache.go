@@ -11,7 +11,13 @@
 //
 // The implementation keeps all tag and policy metadata in flat slices and
 // performs no allocation on the access path: the channel experiments push
-// hundreds of millions of accesses through one Cache value.
+// hundreds of millions of accesses through one Cache value. Three hot-path
+// devices keep the per-access cost low (see DESIGN.md "Performance"):
+// empty ways are marked by an in-band sentinel tag so a lookup scans a
+// single slice, a per-set last-hit-way hint short-circuits the scan for the
+// repeated-line accesses the channel generates, and the two policies on the
+// simulated machine's own caches (RRIP and tree-PLRU) are dispatched by a
+// concrete-type switch instead of through the Policy interface.
 package cache
 
 import (
@@ -19,6 +25,13 @@ import (
 
 	"streamline/internal/mem"
 )
+
+// invalidLine is the in-band sentinel marking an empty way in Cache.tags.
+// It is safe because no simulated line can ever equal it: line numbers are
+// physical addresses divided by the line size, mem.Allocator hands out
+// addresses growing upward from one page, and reaching line 2^64-1 would
+// need an allocation of ~2^64 bytes of simulated memory.
+const invalidLine = ^mem.Line(0)
 
 // Result describes the outcome of one Access or Install.
 type Result struct {
@@ -46,15 +59,33 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(total)
 }
 
+// polKind discriminates the devirtualized replacement policies. The two
+// policies that sit on the simulated machine's own caches (RRIP on the LLC,
+// tree-PLRU on the private levels) are called through concrete pointers so
+// their small hook methods inline into the access path; every other policy
+// (the ablation set) goes through the Policy interface as before.
+type polKind uint8
+
+const (
+	polGeneric polKind = iota
+	polRRIP
+	polPLRU
+)
+
 // Cache is one level of a set-associative cache. Create with New.
 type Cache struct {
-	sets    int
-	ways    int
-	setMask uint64
-	tags    []mem.Line // flat [sets*ways]; meaningful only where valid
-	valid   []bool
-	pol     Policy
-	Stats   Stats
+	sets     int
+	ways     int
+	setMask  uint64
+	tags     []mem.Line // flat [sets*ways]; invalidLine marks an empty way
+	mru      []int32    // per-set last-hit way hint (always in [0,ways))
+	setOcc   []uint16   // per-set valid-line count; ==ways means the fill scan can be skipped
+	occupied int        // running count of valid lines
+	kind     polKind
+	rrip     *RRIP     // non-nil iff kind == polRRIP
+	plru     *TreePLRU // non-nil iff kind == polPLRU
+	pol      Policy
+	Stats    Stats
 }
 
 // New builds a cache with the given geometry and replacement policy. The
@@ -74,8 +105,18 @@ func New(sets, ways int, pol Policy) (*Cache, error) {
 		ways:    ways,
 		setMask: uint64(sets - 1),
 		tags:    make([]mem.Line, sets*ways),
-		valid:   make([]bool, sets*ways),
+		mru:     make([]int32, sets),
+		setOcc:  make([]uint16, sets),
 		pol:     pol,
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidLine
+	}
+	switch p := pol.(type) {
+	case *RRIP:
+		c.kind, c.rrip = polRRIP, p
+	case *TreePLRU:
+		c.kind, c.plru = polPLRU, p
 	}
 	pol.Attach(sets, ways)
 	return c, nil
@@ -93,10 +134,18 @@ func (c *Cache) Policy() Policy { return c.pol }
 // SetOf returns the set index line l maps to.
 func (c *Cache) SetOf(l mem.Line) int { return int(uint64(l) & c.setMask) }
 
-func (c *Cache) find(set int, l mem.Line) int {
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == l {
+// find locates l in the set starting at base, trying the set's last-hit
+// way first. The hint is only a lookup accelerator: a stale hint misses the
+// comparison (an empty way holds invalidLine, which equals no real line)
+// and the full scan below gives the identical answer.
+func (c *Cache) find(set, base int, l mem.Line) int {
+	tags := c.tags[base : base+c.ways]
+	if w := int(c.mru[set]); tags[w] == l {
+		return w
+	}
+	for w, t := range tags {
+		if t == l {
+			c.mru[set] = int32(w)
 			return w
 		}
 	}
@@ -106,14 +155,38 @@ func (c *Cache) find(set int, l mem.Line) int {
 // Probe reports whether l is present, with no side effects on replacement
 // state or statistics.
 func (c *Cache) Probe(l mem.Line) bool {
-	return c.find(c.SetOf(l), l) >= 0
+	set := c.SetOf(l)
+	return c.find(set, set*c.ways, l) >= 0
 }
 
 // Access looks up l, updating replacement state. On a miss the line is
 // installed, evicting a victim if the set is full. The returned Result
 // reports the hit/miss outcome and any eviction.
 func (c *Cache) Access(l mem.Line) Result {
-	return c.access(l, false)
+	set := c.SetOf(l)
+	base := set * c.ways
+	if w := c.find(set, base, l); w >= 0 {
+		c.Stats.Hits++
+		switch c.kind {
+		case polRRIP:
+			c.rrip.OnHit(set, w)
+		case polPLRU:
+			c.plru.OnHit(set, w)
+		default:
+			c.pol.OnHit(set, w)
+		}
+		return Result{Hit: true, Way: w}
+	}
+	c.Stats.Misses++
+	switch c.kind {
+	case polRRIP:
+		c.rrip.OnMiss(set)
+	case polPLRU:
+		// tree-PLRU has no miss hook.
+	default:
+		c.pol.OnMiss(set)
+	}
+	return c.fill(set, base, l, false)
 }
 
 // InstallPrefetch inserts l as a prefetched line (counted separately, and
@@ -121,57 +194,79 @@ func (c *Cache) Access(l mem.Line) Result {
 // as a policy hit-less no-op.
 func (c *Cache) InstallPrefetch(l mem.Line) Result {
 	set := c.SetOf(l)
-	if w := c.find(set, l); w >= 0 {
+	base := set * c.ways
+	if w := c.find(set, base, l); w >= 0 {
 		// Already present: prefetch is a no-op; do not touch ages so a
 		// predictable prefetcher cannot refresh the channel's lines.
 		return Result{Hit: true, Way: w}
 	}
 	c.Stats.Prefetches++
-	return c.fill(set, l, true)
+	return c.fill(set, base, l, true)
 }
 
-func (c *Cache) access(l mem.Line, prefetch bool) Result {
-	set := c.SetOf(l)
-	if w := c.find(set, l); w >= 0 {
-		c.Stats.Hits++
-		c.pol.OnHit(set, w)
-		return Result{Hit: true, Way: w}
-	}
-	c.Stats.Misses++
-	c.pol.OnMiss(set)
-	return c.fill(set, l, prefetch)
-}
-
-// fill inserts l into set, choosing a victim if needed.
-func (c *Cache) fill(set int, l mem.Line, prefetch bool) Result {
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if !c.valid[base+w] {
-			c.valid[base+w] = true
-			c.tags[base+w] = l
-			c.insertMeta(set, w, prefetch)
-			return Result{Way: w}
+// fill inserts l into set, choosing a victim if needed. Full sets — the
+// steady state of every long-running experiment — skip the empty-way scan
+// via the per-set occupancy count.
+func (c *Cache) fill(set, base int, l mem.Line, prefetch bool) Result {
+	if int(c.setOcc[set]) < c.ways {
+		for w, t := range c.tags[base : base+c.ways] {
+			if t == invalidLine {
+				c.tags[base+w] = l
+				c.setOcc[set]++
+				c.occupied++
+				c.mru[set] = int32(w)
+				c.insertMeta(set, w, prefetch)
+				return Result{Way: w}
+			}
 		}
+		panic("cache: per-set occupancy count out of sync with tags")
 	}
-	w := c.pol.Victim(set)
+	w := c.victim(set)
 	if w < 0 || w >= c.ways {
 		panic(fmt.Sprintf("cache: policy %s returned invalid victim way %d", c.pol.Name(), w))
 	}
 	evicted := c.tags[base+w]
 	c.Stats.Evictions++
 	c.tags[base+w] = l
+	c.mru[set] = int32(w)
 	c.insertMeta(set, w, prefetch)
 	return Result{Way: w, Evicted: evicted, DidEvict: true}
 }
 
-func (c *Cache) insertMeta(set, w int, prefetch bool) {
-	if prefetch {
-		if pp, ok := c.pol.(PrefetchAware); ok {
-			pp.OnInsertPrefetch(set, w)
-			return
-		}
+// victim dispatches Policy.Victim without interface overhead for the two
+// hot policies.
+func (c *Cache) victim(set int) int {
+	switch c.kind {
+	case polRRIP:
+		return c.rrip.Victim(set)
+	case polPLRU:
+		return c.plru.Victim(set)
+	default:
+		return c.pol.Victim(set)
 	}
-	c.pol.OnInsert(set, w)
+}
+
+func (c *Cache) insertMeta(set, w int, prefetch bool) {
+	switch c.kind {
+	case polRRIP:
+		if prefetch {
+			c.rrip.OnInsertPrefetch(set, w)
+		} else {
+			c.rrip.OnInsert(set, w)
+		}
+	case polPLRU:
+		// tree-PLRU is not PrefetchAware: demand and prefetch fills touch
+		// the tree identically.
+		c.plru.OnInsert(set, w)
+	default:
+		if prefetch {
+			if pp, ok := c.pol.(PrefetchAware); ok {
+				pp.OnInsertPrefetch(set, w)
+				return
+			}
+		}
+		c.pol.OnInsert(set, w)
+	}
 }
 
 // Flush removes l if present (the clflush model) and reports whether it was
@@ -185,49 +280,43 @@ func (c *Cache) Flush(l mem.Line) bool {
 // inclusive back-invalidation). Reports whether the line was present.
 func (c *Cache) Invalidate(l mem.Line) bool {
 	set := c.SetOf(l)
-	w := c.find(set, l)
+	base := set * c.ways
+	w := c.find(set, base, l)
 	if w < 0 {
 		return false
 	}
-	c.valid[set*c.ways+w] = false
-	c.pol.OnInvalidate(set, w)
+	c.tags[base+w] = invalidLine
+	c.setOcc[set]--
+	c.occupied--
+	switch c.kind {
+	case polRRIP:
+		c.rrip.OnInvalidate(set, w)
+	case polPLRU:
+		// tree-PLRU has no invalidate hook.
+	default:
+		c.pol.OnInvalidate(set, w)
+	}
 	return true
 }
 
 // OccupancyOf returns how many valid lines currently sit in l's set.
 func (c *Cache) OccupancyOf(l mem.Line) int {
-	set := c.SetOf(l)
-	base := set * c.ways
-	n := 0
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] {
-			n++
-		}
-	}
-	return n
+	return int(c.setOcc[c.SetOf(l)])
 }
 
 // LinesInSet appends the valid lines of the given set to dst and returns it.
 func (c *Cache) LinesInSet(set int, dst []mem.Line) []mem.Line {
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] {
-			dst = append(dst, c.tags[base+w])
+	for _, t := range c.tags[base : base+c.ways] {
+		if t != invalidLine {
+			dst = append(dst, t)
 		}
 	}
 	return dst
 }
 
 // Occupied returns the total number of valid lines in the cache.
-func (c *Cache) Occupied() int {
-	n := 0
-	for _, v := range c.valid {
-		if v {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cache) Occupied() int { return c.occupied }
 
 // ResetStats zeroes the statistics counters.
 func (c *Cache) ResetStats() { c.Stats = Stats{} }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"streamline/internal/mem"
+	"streamline/internal/rng"
 )
 
 func mustNew(t *testing.T, sets, ways int, pol Policy) *Cache {
@@ -347,6 +348,44 @@ func TestRandomPolicyDeterministicWithSeed(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("eviction sequences diverge at %d", i)
 		}
+	}
+}
+
+// TestOccupiedCounterMatchesScan cross-checks the running valid-line
+// counter behind Occupied against a full tag scan through a random mix of
+// accesses, prefetch installs, invalidates, and flushes.
+func TestOccupiedCounterMatchesScan(t *testing.T) {
+	c := mustNew(t, 8, 4, NewSkylakeLLC(3))
+	x := rng.New(9)
+	recount := func() int {
+		n := 0
+		var buf []mem.Line
+		for s := 0; s < c.Sets(); s++ {
+			buf = c.LinesInSet(s, buf[:0])
+			n += len(buf)
+		}
+		return n
+	}
+	for i := 0; i < 20000; i++ {
+		l := mem.Line(x.Intn(256))
+		switch x.Intn(10) {
+		case 0:
+			c.Invalidate(l)
+		case 1:
+			c.Flush(l)
+		case 2:
+			c.InstallPrefetch(l)
+		default:
+			c.Access(l)
+		}
+		if i%500 == 0 {
+			if got, want := c.Occupied(), recount(); got != want {
+				t.Fatalf("step %d: Occupied() = %d, scan says %d", i, got, want)
+			}
+		}
+	}
+	if got, want := c.Occupied(), recount(); got != want {
+		t.Fatalf("final: Occupied() = %d, scan says %d", got, want)
 	}
 }
 

@@ -5,7 +5,11 @@
 // (Jaleel et al., ISCA 2010; observed on Intel LLCs by Briongos et al.).
 package cache
 
-import "streamline/internal/rng"
+import (
+	"math/bits"
+
+	"streamline/internal/rng"
+)
 
 // Policy is the replacement-policy hook interface used by Cache. All methods
 // are called with valid set/way indices. Implementations must be allocation
@@ -177,10 +181,23 @@ func (p *NRU) OnInvalidate(s, w int) { p.ref[s*p.ways+w] = false }
 // ---------------------------------------------------------------- TreePLRU
 
 // TreePLRU is the binary-tree pseudo-LRU used in many L1/L2 designs. Ways
-// must be a power of two.
+// must be a power of two (at most 32: one packed word per set).
+//
+// Each set's ways-1 tree bits live in one uint32 (bit i = tree node i, set
+// when the next victim is in that node's right subtree), which collapses
+// the two hot operations: touch ORs and clears two per-way masks computed
+// at Attach, and Victim is one lookup in a 2^(ways-1)-entry table mapping
+// the packed bits straight to the victim way (tables this size are tiny
+// for the private-cache shapes: 128 entries for 8 ways). The tables are
+// filled by running the reference tree walk once per input, so the packed
+// forms are identical-by-construction to the walk.
 type TreePLRU struct {
-	ways int
-	bits []bool // sets*(ways-1) tree bits
+	ways   int
+	levels int      // log2(ways): tree depth
+	bits   []uint32 // one packed tree per set
+	setM   []uint32 // per-way: tree bits touch must set
+	clrM   []uint32 // per-way: tree bits touch must clear
+	vict   []uint8  // packed bits -> victim way (ways <= 16)
 }
 
 // NewTreePLRU returns a tree-PLRU policy.
@@ -194,27 +211,57 @@ func (p *TreePLRU) Attach(sets, ways int) {
 	if ways&(ways-1) != 0 {
 		panic("cache: TreePLRU requires power-of-two associativity")
 	}
+	if ways > 32 {
+		panic("cache: TreePLRU supports at most 32 ways")
+	}
 	p.ways = ways
-	p.bits = make([]bool, sets*(ways-1))
+	p.levels = bits.Len(uint(ways)) - 1
+	p.bits = make([]uint32, sets)
+	// The tree path for way w is exactly w's bits MSB-first: bit 0 means
+	// the left half, so touch marks that node "next victim on the right"
+	// (tree bit set) and descends left.
+	p.setM = make([]uint32, ways)
+	p.clrM = make([]uint32, ways)
+	for w := 0; w < ways; w++ {
+		node := 0
+		for shift := p.levels - 1; shift >= 0; shift-- {
+			bit := (w >> uint(shift)) & 1
+			if bit == 0 {
+				p.setM[w] |= 1 << uint(node)
+			} else {
+				p.clrM[w] |= 1 << uint(node)
+			}
+			node = 2*node + 1 + bit
+		}
+	}
+	if ways <= 16 {
+		p.vict = make([]uint8, 1<<uint(ways-1))
+		for m := range p.vict {
+			p.vict[m] = uint8(p.walkVictim(uint32(m)))
+		}
+	}
+}
+
+// walkVictim is the reference traversal: follow the packed tree bits,
+// accumulating the victim way's bits MSB-first (the inverse of touch).
+func (p *TreePLRU) walkVictim(tree uint32) int {
+	node, w := 0, 0
+	for i := 0; i < p.levels; i++ {
+		if tree&(1<<uint(node)) != 0 {
+			node = 2*node + 2
+			w = w<<1 | 1
+		} else {
+			node = 2*node + 1
+			w <<= 1
+		}
+	}
+	return w
 }
 
 // touch flips tree bits away from way w so the traversal next points
 // elsewhere.
 func (p *TreePLRU) touch(s, w int) {
-	base := s * (p.ways - 1)
-	node, lo, hi := 0, 0, p.ways
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if w < mid {
-			p.bits[base+node] = true // next victim on the right
-			node = 2*node + 1
-			hi = mid
-		} else {
-			p.bits[base+node] = false // next victim on the left
-			node = 2*node + 2
-			lo = mid
-		}
-	}
+	p.bits[s] = (p.bits[s] | p.setM[w]) &^ p.clrM[w]
 }
 
 // OnHit implements Policy.
@@ -228,19 +275,10 @@ func (p *TreePLRU) OnInsert(s, w int) { p.touch(s, w) }
 
 // Victim implements Policy.
 func (p *TreePLRU) Victim(s int) int {
-	base := s * (p.ways - 1)
-	node, lo, hi := 0, 0, p.ways
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if p.bits[base+node] {
-			node = 2*node + 2
-			lo = mid
-		} else {
-			node = 2*node + 1
-			hi = mid
-		}
+	if p.vict != nil {
+		return int(p.vict[p.bits[s]])
 	}
-	return lo
+	return p.walkVictim(p.bits[s])
 }
 
 // OnInvalidate implements Policy.
@@ -414,15 +452,24 @@ func (p *RRIP) OnInsertPrefetch(s, w int) {
 }
 
 // Victim implements Policy: find an age-3 line scanning from the rotating
-// pointer, incrementing all ages until one exists.
+// pointer, incrementing all ages until one exists. The scan wraps with a
+// compare-and-reset rather than a modulo; the visit order is identical.
 func (p *RRIP) Victim(s int) int {
 	base := s * p.ways
 	for {
+		w := int(p.ptr[s])
 		for i := 0; i < p.ways; i++ {
-			w := (int(p.ptr[s]) + i) % p.ways
 			if p.age[base+w] == maxAge {
-				p.ptr[s] = uint16((w + 1) % p.ways)
+				next := w + 1
+				if next == p.ways {
+					next = 0
+				}
+				p.ptr[s] = uint16(next)
 				return w
+			}
+			w++
+			if w == p.ways {
+				w = 0
 			}
 		}
 		for w := 0; w < p.ways; w++ {

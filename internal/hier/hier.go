@@ -11,6 +11,7 @@ package hier
 
 import (
 	"fmt"
+	"math/bits"
 
 	"streamline/internal/cache"
 	"streamline/internal/dram"
@@ -110,6 +111,32 @@ type Hierarchy struct {
 
 	pfBuf []mem.Addr
 
+	// fast marks the common-case configuration — one trust domain, no
+	// TLB model, no random-fill defense — whose Access runs on a
+	// straight-line path with the per-access llcFor/tlbs/fillRnd branches
+	// hoisted out (every paper experiment's default; see DESIGN.md
+	// "Performance").
+	fast bool
+
+	// dir holds the fast path's core-valid bits, one word per (LLC set,
+	// way): bit c set means core c may hold a private copy of the line in
+	// that way. Inclusive Intel LLCs keep exactly this directory state;
+	// here it turns back-invalidation from a broadcast probe of every
+	// core's L1 and L2 into a probe of just the recorded holders. The mask
+	// is a superset of the true holders (silent private evictions leave
+	// bits stale), and invalidating a non-holder is a no-op, so the
+	// resulting cache state is identical to the broadcast's. nil on the
+	// general path.
+	dir     []uint8
+	dirWays int
+	// orphans records private copies that exist while their line is absent
+	// from the LLC — the one case the directory cannot index: a prefetch
+	// issued mid-access can evict the very line an L2 hit is about to
+	// re-fill into the L1. The orphan bits are merged into dir when the
+	// line next enters the LLC, so the eventual back-invalidation reaches
+	// the stale copy at exactly the moment the broadcast would have.
+	orphans []orphan
+
 	// Stats
 	Served [4]uint64 // accesses served per level
 	// ServedPerCore mirrors Served for each core (the raw material of
@@ -189,6 +216,12 @@ func New(m *params.Machine, opt Options) (*Hierarchy, error) {
 	if h.fillP > 0 {
 		h.fillRnd = rng.New(opt.Seed ^ 0xf111)
 	}
+	h.fast = nDomains == 1 && opt.TLB == nil && h.fillRnd == nil && m.Cores <= 8
+	if h.fast {
+		h.dirWays = llcs[0].Ways()
+		h.dir = make([]uint8, llcs[0].Sets()*h.dirWays)
+		h.orphans = make([]orphan, 0, 8)
+	}
 	for c := 0; c < m.Cores; c++ {
 		l1, err := cache.New(m.L1.Sets(), m.L1.Ways, cache.NewTreePLRU())
 		if err != nil {
@@ -252,8 +285,110 @@ func (h *Hierarchy) checkCore(core int) {
 // returns its latency and serving level.
 func (h *Hierarchy) Access(core int, a mem.Addr, now uint64) AccessResult {
 	h.checkCore(core)
+	if h.fast {
+		return h.accessFast(core, a, now)
+	}
+	return h.accessGeneral(core, a, now)
+}
+
+// accessFast is the straight-line hot path for the common configuration
+// (single trust domain, no TLB, no random fill): the general path's
+// per-access feature branches are gone, the line is decomposed once, and
+// all LLC traffic goes to the one shared partition. It must stay
+// event-for-event identical to accessGeneral under h.fast's precondition —
+// the devirtualization property test and the golden conformance suite hold
+// it to that.
+func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	line := h.geom.LineOf(a)
-	lat := h.mach.Lat
+	lat := &h.mach.Lat
+
+	if h.l1[core].Access(line).Hit {
+		h.count(core, L1)
+		return AccessResult{Latency: lat.L1Hit, Level: L1}
+	}
+	// L1 miss: the L1 lookup above already installed the line, and the L2
+	// lookup below installs it there on a miss, so the only explicit fill
+	// left is the trailing L1 touch on each path (normally a hint-served
+	// hit; a re-fill only when a prefetch back-invalidated the line
+	// mid-access). Private evictions are silent: lines are clean and the
+	// LLC is inclusive.
+	l2hit := h.l2[core].Access(line).Hit
+	evictedSelf := h.prefetchAfterFast(core, a, line)
+	if l2hit {
+		h.count(core, L2)
+		h.l1[core].Access(line)
+		if evictedSelf {
+			// The prefetch above evicted this very line from the LLC, so
+			// the L1 copy the line above just touched (or re-installed) is
+			// invisible to the directory; remember it until the line
+			// re-enters the LLC.
+			h.addOrphan(line, core)
+		}
+		return AccessResult{Latency: lat.L2Hit, Level: L2}
+	}
+	llc := h.llcs[0]
+	llcRes := llc.Access(line) // installs on miss
+	idx := llc.SetOf(line)*h.dirWays + llcRes.Way
+	if llcRes.Hit {
+		h.dir[idx] |= 1 << uint(core)
+		h.l1[core].Access(line)
+		h.count(core, LLC)
+		return AccessResult{Latency: lat.LLCHit, Level: LLC}
+	}
+	if llcRes.DidEvict {
+		h.backInvalidateMask(h.dir[idx], llcRes.Evicted)
+	}
+	h.dir[idx] = h.takeOrphans(line) | 1<<uint(core)
+	h.l1[core].Access(line)
+	// Full miss: the line was fetched from DRAM (and filled above).
+	h.count(core, DRAM)
+	return AccessResult{Latency: h.dram.Latency(now, a), Level: DRAM}
+}
+
+// orphan is a line whose private copies outlive its LLC residency; see the
+// orphans field.
+type orphan struct {
+	line mem.Line
+	mask uint8
+}
+
+// addOrphan records that core holds a private copy of line while the line
+// is not in the LLC.
+func (h *Hierarchy) addOrphan(line mem.Line, core int) {
+	for i := range h.orphans {
+		if h.orphans[i].line == line {
+			h.orphans[i].mask |= 1 << uint(core)
+			return
+		}
+	}
+	h.orphans = append(h.orphans, orphan{line: line, mask: 1 << uint(core)})
+}
+
+// takeOrphans removes and returns the orphan holder mask for line (0 if
+// none): called when line enters the LLC, at which point the directory
+// takes over tracking those copies.
+func (h *Hierarchy) takeOrphans(line mem.Line) uint8 {
+	if len(h.orphans) == 0 {
+		return 0
+	}
+	for i := range h.orphans {
+		if h.orphans[i].line == line {
+			m := h.orphans[i].mask
+			last := len(h.orphans) - 1
+			h.orphans[i] = h.orphans[last]
+			h.orphans = h.orphans[:last]
+			return m
+		}
+	}
+	return 0
+}
+
+// accessGeneral handles every configuration (partitioned LLC, TLB
+// modelling, random fill); mitigation experiments pay for the features they
+// turn on.
+func (h *Hierarchy) accessGeneral(core int, a mem.Addr, now uint64) AccessResult {
+	line := h.geom.LineOf(a)
+	lat := &h.mach.Lat
 
 	// Address translation rides on top of every access the requester
 	// times: a page walk delays even an L1 hit.
@@ -266,10 +401,7 @@ func (h *Hierarchy) Access(core int, a mem.Addr, now uint64) AccessResult {
 		h.count(core, L1)
 		return AccessResult{Latency: lat.L1Hit + tlbPenalty, Level: L1}
 	}
-	// L1 miss: the prefetcher watches the L2 access stream. The L2 lookup
-	// below installs the line on a miss, so the L2 fill is implicit; only
-	// the L1 needs an explicit fill on each path. Private evictions are
-	// silent: lines are clean and the LLC is inclusive.
+	// See accessFast for the fill discipline on an L1 miss.
 	l2hit := h.l2[core].Access(line).Hit
 	h.prefetchAfter(core, a)
 	if l2hit {
@@ -320,6 +452,19 @@ func (h *Hierarchy) backInvalidate(domain int, line mem.Line) {
 	}
 }
 
+// backInvalidateMask is backInvalidate for the fast path: only the cores
+// whose directory bit is set are probed, in ascending core order (the same
+// order the broadcast visits them). Cores with stale bits hold nothing, so
+// their Invalidate calls are the same no-ops the broadcast performs.
+func (h *Hierarchy) backInvalidateMask(mask uint8, line mem.Line) {
+	for mask != 0 {
+		c := bits.TrailingZeros8(mask)
+		mask &= mask - 1
+		h.l1[c].Invalidate(line)
+		h.l2[c].Invalidate(line)
+	}
+}
+
 // prefetchAfter lets the core's prefetcher observe address a and performs
 // the proposed fills into the core's L2 and its LLC partition.
 func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
@@ -331,6 +476,38 @@ func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
 		}
 		h.l2[core].InstallPrefetch(pl)
 	}
+}
+
+// prefetchAfterFast is prefetchAfter on the single-domain fast path, with
+// the directory maintained on every LLC touch. It reports whether one of
+// the prefetch fills evicted the demand line the caller is mid-way through
+// serving (the orphan case; see accessFast).
+func (h *Hierarchy) prefetchAfterFast(core int, a mem.Addr, line mem.Line) (evictedSelf bool) {
+	h.pfBuf = h.pf[core].Observe(a, false, h.pfBuf[:0])
+	if len(h.pfBuf) == 0 {
+		return false
+	}
+	llc := h.llcs[0]
+	for _, pa := range h.pfBuf {
+		pl := h.geom.LineOf(pa)
+		r := llc.InstallPrefetch(pl)
+		idx := llc.SetOf(pl)*h.dirWays + r.Way
+		if r.Hit {
+			// Already resident: the L2 install below still gives this core
+			// a private copy to track.
+			h.dir[idx] |= 1 << uint(core)
+		} else {
+			if r.DidEvict {
+				if r.Evicted == line {
+					evictedSelf = true
+				}
+				h.backInvalidateMask(h.dir[idx], r.Evicted)
+			}
+			h.dir[idx] = h.takeOrphans(pl) | 1<<uint(core)
+		}
+		h.l2[core].InstallPrefetch(pl)
+	}
+	return evictedSelf
 }
 
 // Flush models clflush: the line is removed from every cache in the system.
@@ -388,12 +565,17 @@ func (h *Hierarchy) InvalidatePrivate(core int, a mem.Addr) {
 
 // CheckInclusion verifies that every line resident in a private cache is
 // also in the LLC; it returns the first violating line found, for tests.
+// One scratch buffer serves every per-set scan: tests poll this after
+// every simulated step, and a fresh slice per set was the dominant
+// allocation of those suites.
 func (h *Hierarchy) CheckInclusion() (mem.Line, bool) {
+	scratch := make([]mem.Line, 0, h.mach.L1.Ways+h.mach.L2.Ways)
 	for c := range h.l1 {
 		llc := h.llcFor(c)
 		for _, lv := range []*cache.Cache{h.l1[c], h.l2[c]} {
 			for s := 0; s < lv.Sets(); s++ {
-				for _, line := range lv.LinesInSet(s, nil) {
+				scratch = lv.LinesInSet(s, scratch[:0])
+				for _, line := range scratch {
 					if !llc.Probe(line) {
 						return line, false
 					}

@@ -9,7 +9,10 @@
 // Allocator.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Addr is a byte address in the simulated physical address space.
 type Addr uint64
@@ -37,18 +40,26 @@ func NewGeometry(lineBytes, pageBytes int) (Geometry, error) {
 	return Geometry{LineBytes: lineBytes, PageBytes: pageBytes}, nil
 }
 
-// LineOf returns the cache line containing a.
-func (g Geometry) LineOf(a Addr) Line { return Line(uint64(a) / uint64(g.LineBytes)) }
+// LineOf returns the cache line containing a. Line and page sizes are
+// powers of two (NewGeometry validates), so the divisions decomposing an
+// address reduce to shifts and masks — address decomposition runs on every
+// simulated load, where a 64-bit divide is the single most expensive
+// instruction on the path.
+func (g Geometry) LineOf(a Addr) Line {
+	return Line(uint64(a) >> uint(bits.TrailingZeros64(uint64(g.LineBytes))))
+}
 
 // AddrOfLine returns the first byte address of line l.
 func (g Geometry) AddrOfLine(l Line) Addr { return Addr(uint64(l) * uint64(g.LineBytes)) }
 
 // PageOf returns the page number containing a.
-func (g Geometry) PageOf(a Addr) uint64 { return uint64(a) / uint64(g.PageBytes) }
+func (g Geometry) PageOf(a Addr) uint64 {
+	return uint64(a) >> uint(bits.TrailingZeros64(uint64(g.PageBytes)))
+}
 
 // LineInPage returns the index of a's cache line within its page.
 func (g Geometry) LineInPage(a Addr) int {
-	return int(uint64(a) % uint64(g.PageBytes) / uint64(g.LineBytes))
+	return int((uint64(a) & uint64(g.PageBytes-1)) >> uint(bits.TrailingZeros64(uint64(g.LineBytes))))
 }
 
 // LinesPerPage returns the number of cache lines per page.

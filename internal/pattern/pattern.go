@@ -18,6 +18,7 @@ package pattern
 
 import (
 	"fmt"
+	"math/bits"
 
 	"streamline/internal/mem"
 )
@@ -40,6 +41,13 @@ type XY struct {
 	X, Y  int
 	Start int
 	geom  mem.Geometry
+
+	// Offset runs once per transmitted bit, so its divisions matter. The
+	// geometry guarantees lines-per-page is a power of two; when Y is one
+	// too (the paper's default y=2), every division in Equations (1)-(3)
+	// is a shift. yShift is log2(Y), or -1 when Y is not a power of two.
+	yShift   int
+	lppShift uint
 }
 
 // NewXY builds an XY pattern for the given geometry. It panics on
@@ -49,7 +57,14 @@ func NewXY(g mem.Geometry, x, y, start int) *XY {
 	if x <= 0 || y <= 0 {
 		panic(fmt.Sprintf("pattern: invalid XY parameters x=%d y=%d", x, y))
 	}
-	return &XY{X: x, Y: y, Start: start, geom: g}
+	p := &XY{X: x, Y: y, Start: start, geom: g,
+		yShift:   -1,
+		lppShift: uint(bits.TrailingZeros(uint(g.LinesPerPage()))),
+	}
+	if y&(y-1) == 0 {
+		p.yShift = bits.TrailingZeros(uint(y))
+	}
+	return p
 }
 
 // NewStreamline returns the paper's transmission pattern (x=3, y=2,
@@ -68,9 +83,18 @@ func (p *XY) Name() string {
 func (p *XY) Offset(i uint64, arrSize int) int {
 	lpp := uint64(p.geom.LinesPerPage())
 	x, y := uint64(p.X), uint64(p.Y)
-	pg := y*(x*i/(lpp*y)) + i%y
-	cl := (uint64(p.Start) + x*(i/y)) % lpp
+	var pg, cl uint64
+	if p.yShift >= 0 {
+		pg = y*((x*i)>>(p.lppShift+uint(p.yShift))) + i&(y-1)
+		cl = (uint64(p.Start) + x*(i>>uint(p.yShift))) & (lpp - 1)
+	} else {
+		pg = y*(x*i/(lpp*y)) + i%y
+		cl = (uint64(p.Start) + x*(i/y)) % lpp
+	}
 	off := pg*uint64(p.geom.PageBytes) + cl*uint64(p.geom.LineBytes)
+	if sz := uint64(arrSize); sz&(sz-1) == 0 {
+		return int(off & (sz - 1))
+	}
 	return int(off % uint64(arrSize))
 }
 

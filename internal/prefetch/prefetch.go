@@ -83,14 +83,19 @@ func (p *NextLine) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
 // Reset implements Prefetcher.
 func (p *NextLine) Reset() { p.lastSet = false }
 
-// streamEntry is one tracked page in the Streamer.
-type streamEntry struct {
-	page    uint64
+// pageNone marks a free Streamer slot in-band: no simulated access can
+// land on page 2^64-1 (that would require an allocation reaching the top
+// of the 64-bit address space), so the page array alone answers lookups.
+const pageNone = ^uint64(0)
+
+// streamMeta is the training state of one tracked page (the page number
+// itself lives in Streamer.pages so the per-access lookup scans a compact
+// array).
+type streamMeta struct {
 	lastLip int8 // last line-in-page observed
 	stride  int8 // confirmed dense stride (signed)
 	conf    int8
 	lru     uint32
-	valid   bool
 }
 
 // Streamer is a per-page stream prefetcher in the style of Intel's L2
@@ -99,9 +104,10 @@ type streamEntry struct {
 // small ("dense") stride, and then prefetches several lines ahead along
 // the detected direction, within the page.
 type Streamer struct {
-	g       mem.Geometry
-	entries []streamEntry
-	clock   uint32
+	g     mem.Geometry
+	pages []uint64 // tracked page per slot; pageNone = free
+	meta  []streamMeta
+	clock uint32
 	// Window is the maximum |stride| (in lines) the streamer can learn.
 	// Intel's streamer keys on dense runs; 2 reproduces Table 1's x<=2
 	// rows being prefetched and x>=3 rows escaping.
@@ -115,13 +121,18 @@ type Streamer struct {
 // NewStreamer returns a streamer with Intel-flavoured defaults (16 tracked
 // pages, dense window 2, degree 4, 1 confirmation).
 func NewStreamer(g mem.Geometry) *Streamer {
-	return &Streamer{
+	p := &Streamer{
 		g:             g,
-		entries:       make([]streamEntry, 16),
+		pages:         make([]uint64, 16),
+		meta:          make([]streamMeta, 16),
 		Window:        2,
 		Degree:        4,
 		ConfThreshold: 1,
 	}
+	for i := range p.pages {
+		p.pages[i] = pageNone
+	}
+	return p
 }
 
 // Name implements Prefetcher.
@@ -129,8 +140,9 @@ func (p *Streamer) Name() string { return "streamer" }
 
 // Reset implements Prefetcher.
 func (p *Streamer) Reset() {
-	for i := range p.entries {
-		p.entries[i] = streamEntry{}
+	for i := range p.pages {
+		p.pages[i] = pageNone
+		p.meta[i] = streamMeta{}
 	}
 	p.clock = 0
 }
@@ -141,12 +153,14 @@ func (p *Streamer) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
 	lip := int8(p.g.LineInPage(addr))
 	p.clock++
 
-	e := p.lookup(page)
-	if e == nil {
-		e = p.victim()
-		*e = streamEntry{page: page, lastLip: lip, valid: true, lru: p.clock}
+	i := p.lookup(page)
+	if i < 0 {
+		i = p.victim()
+		p.pages[i] = page
+		p.meta[i] = streamMeta{lastLip: lip, lru: p.clock}
 		return dst
 	}
+	e := &p.meta[i]
 	e.lru = p.clock
 	delta := int(lip) - int(e.lastLip)
 	e.lastLip = lip
@@ -188,26 +202,29 @@ func (p *Streamer) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
 	return dst
 }
 
-func (p *Streamer) lookup(page uint64) *streamEntry {
-	for i := range p.entries {
-		if p.entries[i].valid && p.entries[i].page == page {
-			return &p.entries[i]
+// lookup returns the slot tracking page, or -1. The scan touches only the
+// 128-byte page array, not the training metadata.
+func (p *Streamer) lookup(page uint64) int {
+	for i, pg := range p.pages {
+		if pg == page {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
-func (p *Streamer) victim() *streamEntry {
+// victim returns the first free slot, or the least-recently-used one.
+func (p *Streamer) victim() int {
 	best := 0
-	for i := range p.entries {
-		if !p.entries[i].valid {
-			return &p.entries[i]
+	for i, pg := range p.pages {
+		if pg == pageNone {
+			return i
 		}
-		if p.entries[i].lru < p.entries[best].lru {
+		if p.meta[i].lru < p.meta[best].lru {
 			best = i
 		}
 	}
-	return &p.entries[best]
+	return best
 }
 
 // Stride is a global last-address stride detector: it learns a constant

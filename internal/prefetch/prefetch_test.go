@@ -143,8 +143,8 @@ func TestStreamerEntryEviction(t *testing.T) {
 		p.Observe(mem.Addr(i*4096), false, nil)
 	}
 	valid := 0
-	for _, e := range p.entries {
-		if e.valid {
+	for _, pg := range p.pages {
+		if pg != pageNone {
 			valid++
 		}
 	}
