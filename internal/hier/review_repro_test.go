@@ -1,0 +1,70 @@
+package hier
+
+import (
+	"testing"
+
+	"streamline/internal/mem"
+	"streamline/internal/params"
+	"streamline/internal/rng"
+)
+
+// tinyMachine builds a machine whose LLC has few enough sets that a
+// within-page streamer prefetch (<= 8 lines ahead) can land in the same
+// LLC set as the demand line — the evicted-self corner.
+func tinyMachine() *params.Machine {
+	m := params.SkylakeE3()
+	m.Cores = 2
+	m.L1 = params.CacheGeom{SizeBytes: 2 * 64 * 2, Ways: 2, LineBytes: 64}  // 2 sets x 2 ways
+	m.L2 = params.CacheGeom{SizeBytes: 4 * 64 * 2, Ways: 2, LineBytes: 64}  // 4 sets x 2 ways
+	m.LLC = params.CacheGeom{SizeBytes: 4 * 64 * 4, Ways: 4, LineBytes: 64} // 4 sets x 4 ways
+	return m
+}
+
+func TestReviewFastGeneralTinyLLC(t *testing.T) {
+	m := tinyMachine()
+	run := func(forceGeneral bool) ([]AccessResult, [4]uint64) {
+		h, err := New(m, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if forceGeneral {
+			if !h.fast {
+				t.Fatal("expected fast")
+			}
+			h.fast = false
+		}
+		alloc := mem.NewAllocator(m.PageSize)
+		region := alloc.Alloc(1 << 16)
+		x := rng.New(123)
+		var out []AccessResult
+		var now uint64
+		// Mix dense sequential runs (train the streamer) with random
+		// jumps, from both cores.
+		off := 0
+		for i := 0; i < 400000; i++ {
+			core := int(x.Intn(2))
+			if x.Intn(8) == 0 {
+				off = int(x.Intn(region.Size/64)) * 64
+			} else {
+				off += 64
+				if off >= region.Size {
+					off = 0
+				}
+			}
+			r := h.Access(core, region.AddrAt(off), now)
+			now += uint64(r.Latency)
+			out = append(out, r)
+		}
+		return out, h.Served
+	}
+	fastTrace, fastServed := run(false)
+	genTrace, genServed := run(true)
+	if fastServed != genServed {
+		t.Fatalf("served diverge: %v (fast) vs %v (general)", fastServed, genServed)
+	}
+	for i := range fastTrace {
+		if fastTrace[i] != genTrace[i] {
+			t.Fatalf("access %d diverges: %+v (fast) vs %+v (general)", i, fastTrace[i], genTrace[i])
+		}
+	}
+}
