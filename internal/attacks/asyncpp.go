@@ -41,6 +41,9 @@ type AsyncPrimeProbe struct {
 	recvBase  mem.Addr
 	sendBase  mem.Addr
 
+	// probeBuf is the reused batch buffer for one set's prime lines.
+	probeBuf []mem.Addr
+
 	// SyncPeriod/SyncLead bound the gap (defaults: an eighth of a lap).
 	SyncPeriod int
 	SyncLead   int
@@ -82,6 +85,7 @@ func NewAsyncPrimeProbe(seed uint64) (*AsyncPrimeProbe, error) {
 		setStride:    setStride,
 		recvBase:     recvBuf.Base,
 		sendBase:     sendBuf.Base,
+		probeBuf:     make([]mem.Addr, m.LLC.Ways),
 		SyncPeriod:   sets / 2,
 		SyncLead:     sets / 16,
 		rawThreshold: m.LLC.Ways*m.Lat.LLCHit + (missMean-m.Lat.LLCHit)/2,
@@ -117,6 +121,14 @@ func (a *AsyncPrimeProbe) conflictLine(i int64) mem.Addr {
 // recvLine returns the receiver's way-th prime line of set s.
 func (a *AsyncPrimeProbe) recvLine(s, way int) mem.Addr {
 	return a.recvBase + mem.Addr(way*a.setStride+s*a.m.LLC.LineBytes)
+}
+
+// primeLines fills probeBuf with set s's prime lines and returns it.
+func (a *AsyncPrimeProbe) primeLines(s int) []mem.Addr {
+	for w := range a.probeBuf {
+		a.probeBuf[w] = a.recvLine(s, w)
+	}
+	return a.probeBuf
 }
 
 // appSender is the transmitting agent.
@@ -180,13 +192,11 @@ func (r *appReceiver) Step(now uint64) (uint64, bool) {
 	lat := a.m.Lat
 	s := a.setOf(r.i)
 	cost := uint64(2*lat.TimerOverhead + lat.LoopOverhead)
-	sum := 0
-	for w := 0; w < a.m.LLC.Ways; w++ {
-		res := a.h.Access(a.rCore, a.recvLine(s, w), now+cost)
-		sum += res.Latency
-		cost += uint64(res.Latency) / uint64(a.m.MLP)
-	}
-	sum += int(a.x.Norm() * 10)
+	lines := a.primeLines(s)
+	clk := hier.BatchClock{Div: a.m.MLP}
+	probe := a.h.AccessBatch(a.rCore, lines, now+cost, clk)
+	cost += probe.Cost
+	sum := int(probe.LatencySum) + int(a.x.Norm()*10)
 	if sum >= a.rawThreshold {
 		r.rx[r.i] = 0 // a conflict evicted one of our lines
 		// Repair: the probe's reinstall may have victimized another of
@@ -195,15 +205,9 @@ func (r *appReceiver) Step(now uint64) (uint64, bool) {
 		// the never-hit conflict line toward eviction, so this converges
 		// in a pass or two. Only 0-bits pay this cost.
 		for pass := 0; pass < 4; pass++ {
-			clean := true
-			for w := 0; w < a.m.LLC.Ways; w++ {
-				res := a.h.Access(a.rCore, a.recvLine(s, w), now+cost)
-				cost += uint64(res.Latency) / uint64(a.m.MLP)
-				if res.Level == hier.DRAM {
-					clean = false
-				}
-			}
-			if clean {
+			res := a.h.AccessBatch(a.rCore, lines, now+cost, clk)
+			cost += res.Cost
+			if res.Served[hier.DRAM] == 0 {
 				break
 			}
 		}
@@ -232,11 +236,10 @@ func (a *AsyncPrimeProbe) Run(bits []byte) (*Result, error) {
 		return nil, fmt.Errorf("asyncpp: empty payload")
 	}
 	// Initial prime: the receiver fills every set with its lines before
-	// transmission starts (part of setup, like Streamline's mmap walk).
+	// transmission starts (part of setup, like Streamline's mmap walk), all
+	// issued at time zero.
 	for s := 0; s < a.sets; s++ {
-		for w := 0; w < a.m.LLC.Ways; w++ {
-			a.h.Access(a.rCore, a.recvLine(s, w), 0)
-		}
+		a.h.AccessBatch(a.rCore, a.primeLines(s), 0, hier.BatchClock{Hold: true})
 	}
 
 	rcv := &appReceiver{a: a, rx: make([]byte, len(bits))}

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"streamline/internal/hier"
 	"streamline/internal/mem"
 	"streamline/internal/params"
 )
@@ -117,25 +118,15 @@ func (a *PrimeProbe) Run(bits []byte) (*Result, error) {
 	t := uint64(0)
 	gap := e.window / 3
 	for i, b := range bits {
-		// Prime.
-		at := t + e.jitter()
-		for _, p := range a.prime {
-			r := e.h.Access(a.rCore, p, at)
-			at += uint64(r.Latency) / uint64(e.m.MLP)
-		}
+		// Prime: one batch over the set's lines, pipelined at the MLP.
+		e.h.AccessBatch(a.rCore, a.prime, t+e.jitter(), hier.BatchClock{Div: e.m.MLP})
 		// Sender acts mid-window.
 		if b == 0 {
 			e.h.Access(a.sCore, a.target, t+gap+e.jitter())
 		}
 		// Probe: total latency over the primed lines.
-		at = t + 2*gap + e.jitter()
-		probe := 0
-		for _, p := range a.prime {
-			r := e.h.Access(a.rCore, p, at)
-			probe += r.Latency
-			at += uint64(r.Latency) / uint64(e.m.MLP)
-		}
-		probe += int(e.x.Norm() * a.probeJitterSD)
+		res := e.h.AccessBatch(a.rCore, a.prime, t+2*gap+e.jitter(), hier.BatchClock{Div: e.m.MLP})
+		probe := int(res.LatencySum) + int(e.x.Norm()*a.probeJitterSD)
 		if probe >= a.probeThreshold {
 			decoded[i] = 0 // conflict observed
 		} else {

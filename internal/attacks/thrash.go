@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"streamline/internal/hier"
 	"streamline/internal/mem"
 	"streamline/internal/pattern"
 )
@@ -18,6 +19,7 @@ type ThrashReload struct {
 	buf          mem.Region
 	pat          pattern.Pattern
 	thrashBits   uint64
+	lapAddrs     []mem.Addr // one precomputed thrash lap, in pattern order
 	sCore, rCore int
 	// Laps is how many thrash passes the receiver makes per bit. The
 	// LLC's scan-resistant replacement shields a recently reloaded line
@@ -41,12 +43,18 @@ func NewThrashReload(seed uint64) (*ThrashReload, error) {
 	// covers 1.5x the LLC in distinct lines.
 	buf := alloc.Alloc(env.m.LLC.SizeBytes * 9 / 2)
 	pat := pattern.NewStreamline(env.h.Geometry())
+	thrashBits := pat.LapBits(buf.Size)
+	// Every lap walks the identical address sequence, so it is generated
+	// once here and replayed through the batch kernel per bit.
+	lapAddrs := make([]mem.Addr, thrashBits)
+	pattern.FillAddrs(pat, lapAddrs, buf.Base, 0, buf.Size)
 	return &ThrashReload{
 		env:        env,
 		addr:       shared.Base,
 		buf:        buf,
 		pat:        pat,
-		thrashBits: pat.LapBits(buf.Size),
+		thrashBits: thrashBits,
+		lapAddrs:   lapAddrs,
 		sCore:      0,
 		rCore:      1,
 		Laps:       2,
@@ -85,10 +93,8 @@ func (a *ThrashReload) Run(bits []byte) (*Result, error) {
 		// Receiver resets by thrashing: prefetcher-resistant laps over
 		// the buffer until capacity pressure ages the shared line out.
 		for lap := 0; lap < a.Laps; lap++ {
-			for j := uint64(0); j < a.thrashBits; j++ {
-				rr := e.h.Access(a.rCore, a.buf.AddrAt(a.pat.Offset(j, a.buf.Size)), t)
-				t += uint64(rr.Latency)/uint64(e.m.MLP) + 2
-			}
+			res := e.h.AccessBatch(a.rCore, a.lapAddrs, t, hier.BatchClock{Div: e.m.MLP, Extra: 2})
+			t += res.Cost
 		}
 		// Coarse re-synchronization before the next bit.
 		t += 2000 + e.jitter()

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"testing"
+
+	"streamline/internal/rng"
+)
+
+// forceByteLayout switches an attached RRIP to the byte-per-way fallback,
+// so the packed layout can be property-tested against it.
+func forceByteLayout(p *RRIP) {
+	p.agePk = nil
+	p.incMask = 0
+	p.age = make([]uint8, p.sets*p.ways)
+	for i := range p.age {
+		p.age[i] = maxAge
+	}
+}
+
+// TestRRIPPackedMatchesByteLayout drives the packed and byte age layouts
+// through the same randomized op stream and requires identical victim
+// choices, ages, and DRRIP selector state. The packed layout is a pure
+// storage change; any divergence alters LLC eviction order and breaks
+// golden-output identity.
+func TestRRIPPackedMatchesByteLayout(t *testing.T) {
+	for _, mode := range []RRIPMode{SRRIP, BRRIP, DRRIP} {
+		for _, ways := range []int{2, 12, 16, 18, 32} {
+			const sets = 128
+			pk := NewRRIP(mode, 7)
+			pk.DistantFrac32 = 3
+			pk.Attach(sets, ways)
+			if pk.agePk == nil {
+				t.Fatalf("ways=%d: expected packed layout", ways)
+			}
+			by := NewRRIP(mode, 7)
+			by.DistantFrac32 = 3
+			by.Attach(sets, ways)
+			forceByteLayout(by)
+
+			x := rng.New(uint64(mode)<<8 | uint64(ways))
+			for op := 0; op < 200_000; op++ {
+				s := x.Intn(sets)
+				w := x.Intn(ways)
+				switch x.Intn(6) {
+				case 0:
+					pk.OnHit(s, w)
+					by.OnHit(s, w)
+				case 1:
+					pk.OnMiss(s)
+					by.OnMiss(s)
+				case 2:
+					pk.OnInsert(s, w)
+					by.OnInsert(s, w)
+				case 3:
+					pk.OnInsertPrefetch(s, w)
+					by.OnInsertPrefetch(s, w)
+				case 4:
+					if got, want := pk.Victim(s), by.Victim(s); got != want {
+						t.Fatalf("mode=%v ways=%d op %d: packed victim %d, byte victim %d", mode, ways, op, got, want)
+					}
+				case 5:
+					pk.OnInvalidate(s, w)
+					by.OnInvalidate(s, w)
+				}
+			}
+			for s := 0; s < sets; s++ {
+				for w := 0; w < ways; w++ {
+					if pk.AgeOf(s, w) != by.AgeOf(s, w) {
+						t.Fatalf("mode=%v ways=%d: age mismatch at set %d way %d", mode, ways, s, w)
+					}
+				}
+			}
+			if pk.PSel() != by.PSel() {
+				t.Fatalf("mode=%v ways=%d: PSEL diverged", mode, ways)
+			}
+		}
+	}
+}
+
+// TestRRIPHitToZeroPackedMatches covers the hit-promotion variant the
+// packed OnHit special-cases.
+func TestRRIPHitToZeroPackedMatches(t *testing.T) {
+	const sets, ways = 64, 16
+	pk := NewRRIP(SRRIP, 3)
+	pk.hitToZero = true
+	pk.Attach(sets, ways)
+	by := NewRRIP(SRRIP, 3)
+	by.hitToZero = true
+	by.Attach(sets, ways)
+	forceByteLayout(by)
+	x := rng.New(99)
+	for op := 0; op < 50_000; op++ {
+		s, w := x.Intn(sets), x.Intn(ways)
+		switch x.Intn(3) {
+		case 0:
+			pk.OnHit(s, w)
+			by.OnHit(s, w)
+		case 1:
+			pk.OnInsert(s, w)
+			by.OnInsert(s, w)
+		case 2:
+			if got, want := pk.Victim(s), by.Victim(s); got != want {
+				t.Fatalf("op %d: packed victim %d, byte victim %d", op, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"streamline/internal/mem"
+	"streamline/internal/pattern"
+)
+
+// addrChunk is how many upcoming bit addresses an agent generates per
+// pattern call. Big enough to amortize the call, small enough that the
+// buffer (2 KB) stays cache-resident next to the agent state.
+const addrChunk = 256
+
+// addrStream is a chunk-buffered view of one agent's position in the
+// transmission pattern: at(i) returns the same address pat.Offset would,
+// but the pattern runs once per addrChunk bits (through the chunked
+// generator) instead of once per bit through the interface. Sender and
+// receiver each own one stream per independent index sequence (transmit,
+// trailing, receive), so the monotone per-stream indices make every refill
+// a full-buffer hit window.
+type addrStream struct {
+	pat  pattern.Pattern
+	base mem.Addr
+	size int
+	buf  []mem.Addr
+	lo   int64 // bit index of buf[0]; -1 until the first refill
+}
+
+func newAddrStream(pat pattern.Pattern, arr mem.Region) addrStream {
+	return addrStream{pat: pat, base: arr.Base, size: arr.Size,
+		buf: make([]mem.Addr, addrChunk), lo: -1}
+}
+
+// at returns the shared-array address of bit i.
+func (s *addrStream) at(i int64) mem.Addr {
+	d := i - s.lo
+	if s.lo >= 0 && d >= 0 && d < int64(len(s.buf)) {
+		return s.buf[d]
+	}
+	pattern.FillAddrs(s.pat, s.buf, s.base, uint64(i), s.size)
+	s.lo = i
+	return s.buf[0]
+}

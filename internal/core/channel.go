@@ -149,31 +149,7 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		sndCamo = newCamo(h, cfg.SenderCore, alloc.Alloc(1<<20), cfg.CamouflageAccesses)
 		rcvCamo = newCamo(h, cfg.ReceiverCore, alloc.Alloc(1<<20), cfg.CamouflageAccesses)
 	}
-	rcv := &receiver{
-		cfg:  &cfg,
-		h:    h,
-		arr:  arr,
-		pat:  pat,
-		rx:   make([]byte, len(tx)),
-		sync: sc,
-		camo: rcvCamo,
-		x:    rng.New(cfg.Seed ^ 0x4ecf),
-	}
-	if cfg.TraceLevels {
-		rcv.levelTrace = make([]byte, len(tx))
-	}
-	snd := &sender{
-		cfg:      &cfg,
-		h:        h,
-		arr:      arr,
-		pat:      pat,
-		tx:       tx,
-		sync:     sc,
-		camo:     sndCamo,
-		x:        rng.New(cfg.Seed ^ 0x5e4d),
-		recvI:    &rcv.Bits,
-		gapEvery: int64(cfg.GapSampleEvery),
-	}
+	snd, rcv := buildAgents(&cfg, h, arr, pat, tx, sc, sndCamo, rcvCamo)
 
 	// Setup-time page faulting: the sender's initialization walks the
 	// start of the shared file, leaving those lines warm (see
@@ -182,9 +158,17 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		if w > cfg.ArraySize {
 			w = cfg.ArraySize
 		}
+		// Setup time is not simulated, so every warmup load issues at time
+		// zero (BatchClock.Hold); the batch kernel walks each chunk of lines
+		// in one call.
 		lineBytes := h.Geometry().LineBytes
+		buf := make([]mem.Addr, 0, addrChunk)
 		for off := 0; off < w; off += lineBytes {
-			h.Access(cfg.SenderCore, arr.AddrAt(off), 0)
+			buf = append(buf, arr.AddrAt(off))
+			if len(buf) == addrChunk || off+lineBytes >= w {
+				h.AccessBatch(cfg.SenderCore, buf, 0, hier.BatchClock{Hold: true})
+				buf = buf[:0]
+			}
 		}
 	}
 
@@ -269,6 +253,44 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		res.ChannelKBps = float64(res.ChannelBits) / 8192.0 / secs
 	}
 	return res, nil
+}
+
+// buildAgents constructs the channel's two agents with every buffer their
+// per-bit loops touch sized up front: the address chunk buffers, the
+// receiver's decode vector and optional level trace, and the sender's gap
+// trace. After construction the steady-state Step paths allocate nothing
+// (pinned by TestStepZeroAllocs).
+func buildAgents(cfg *Config, h *hier.Hierarchy, arr mem.Region, pat pattern.Pattern,
+	tx []byte, sc *syncch.Channel, sndCamo, rcvCamo *camo) (*sender, *receiver) {
+	rcv := &receiver{
+		cfg:  cfg,
+		h:    h,
+		rx:   make([]byte, len(tx)),
+		sync: sc,
+		camo: rcvCamo,
+		x:    rng.New(cfg.Seed ^ 0x4ecf),
+		rxS:  newAddrStream(pat, arr),
+	}
+	if cfg.TraceLevels {
+		rcv.levelTrace = make([]byte, len(tx))
+	}
+	snd := &sender{
+		cfg:      cfg,
+		h:        h,
+		tx:       tx,
+		sync:     sc,
+		camo:     sndCamo,
+		x:        rng.New(cfg.Seed ^ 0x5e4d),
+		recvI:    &rcv.Bits,
+		gapEvery: int64(cfg.GapSampleEvery),
+		txS:      newAddrStream(pat, arr),
+		trailS:   newAddrStream(pat, arr),
+	}
+	if snd.gapEvery > 0 {
+		// One sample per gapEvery transmitted bits, for the whole run.
+		snd.gaps = make([]GapSample, 0, int64(len(tx))/snd.gapEvery+1)
+	}
+	return snd, rcv
 }
 
 // pickNoiseCore returns a core distinct from sender and receiver when the

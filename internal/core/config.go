@@ -146,6 +146,7 @@ type Config struct {
 // with a 5000-bit lead, on the Skylake machine.
 func DefaultConfig() Config {
 	return Config{
+		Machine:          params.SkylakeE3(),
 		ArraySize:        64 << 20,
 		Seed:             1,
 		KeySeed:          0x5eed,

@@ -2,8 +2,6 @@ package core
 
 import (
 	"streamline/internal/hier"
-	"streamline/internal/mem"
-	"streamline/internal/pattern"
 	"streamline/internal/rng"
 	"streamline/internal/syncch"
 )
@@ -14,12 +12,13 @@ import (
 type receiver struct {
 	cfg  *Config
 	h    *hier.Hierarchy
-	arr  mem.Region
-	pat  pattern.Pattern
 	rx   []byte // decoded transmitted bits
 	sync *syncch.Channel
 	camo *camo
 	x    *rng.Xoshiro
+
+	// rxS is the chunk-buffered view of the receive index sequence.
+	rxS addrStream
 
 	i int64
 	// syncBurst counts remaining re-signals after a sync point; the signal
@@ -44,10 +43,6 @@ type receiver struct {
 // Name implements sched.Agent.
 func (r *receiver) Name() string { return "streamline-receiver" }
 
-func (r *receiver) addrOf(i int64) mem.Addr {
-	return r.arr.Base + mem.Addr(r.pat.Offset(uint64(i), r.arr.Size))
-}
-
 // Step implements sched.Agent: receive one bit.
 func (r *receiver) Step(now uint64) (uint64, bool) {
 	if !r.started {
@@ -57,7 +52,7 @@ func (r *receiver) Step(now uint64) (uint64, bool) {
 	m := r.h.Machine()
 	// t = rdtscp; load; T = rdtscp - t
 	cost := uint64(2*m.Lat.TimerOverhead + m.Lat.LoopOverhead)
-	res := r.h.Access(r.cfg.ReceiverCore, r.addrOf(r.i), now+cost)
+	res := r.h.Access(r.cfg.ReceiverCore, r.rxS.at(r.i), now+cost)
 	r.Levels[res.Level]++
 	if r.levelTrace != nil {
 		r.levelTrace[r.i] = byte(res.Level)

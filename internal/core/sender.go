@@ -3,7 +3,6 @@ package core
 import (
 	"streamline/internal/hier"
 	"streamline/internal/mem"
-	"streamline/internal/pattern"
 	"streamline/internal/rng"
 	"streamline/internal/syncch"
 )
@@ -22,12 +21,15 @@ const (
 type sender struct {
 	cfg   *Config
 	h     *hier.Hierarchy
-	arr   mem.Region
-	pat   pattern.Pattern
 	tx    []byte // transmitted bits (post-modulation)
 	sync  *syncch.Channel
 	x     *rng.Xoshiro
 	recvI *int64 // receiver progress, for the sync fail-safe only
+
+	// txS and trailS are chunk-buffered views of the transmit and trailing
+	// index sequences; both advance monotonically, so each refill serves a
+	// full chunk of bits.
+	txS, trailS addrStream
 
 	camo         *camo
 	i            int64
@@ -60,11 +62,6 @@ func (s *sender) observeGap() {
 // Name implements sched.Agent.
 func (s *sender) Name() string { return "streamline-sender" }
 
-// addrOf returns the shared-array address of bit i.
-func (s *sender) addrOf(i int64) mem.Addr {
-	return s.arr.Base + mem.Addr(s.pat.Offset(uint64(i), s.arr.Size))
-}
-
 // Step implements sched.Agent: one transmitted bit, or one sync poll while
 // waiting at an epoch boundary.
 func (s *sender) Step(now uint64) (uint64, bool) {
@@ -89,13 +86,13 @@ func (s *sender) Step(now uint64) (uint64, bool) {
 
 	// Transmit: load the line for a 0, skip for a 1.
 	if s.tx[s.i] == 0 {
-		r := s.h.Access(s.cfg.SenderCore, s.addrOf(s.i), now+cost)
+		r := s.h.Access(s.cfg.SenderCore, s.txS.at(s.i), now+cost)
 		cost += s.loadCost(r)
 	}
 	// Trailing access: refresh the replacement age of the line installed
 	// TrailingLag bits ago (only lines actually installed, i.e. 0-bits).
 	if lag := int64(s.cfg.TrailingLag); lag > 0 && s.i >= lag && s.tx[s.i-lag] == 0 {
-		r := s.h.Access(s.cfg.SenderCore, s.addrOf(s.i-lag), now+cost)
+		r := s.h.Access(s.cfg.SenderCore, s.trailS.at(s.i-lag), now+cost)
 		cost += s.loadCost(r)
 	}
 	if s.camo != nil {

@@ -1,0 +1,138 @@
+package hier
+
+import (
+	"math/bits"
+
+	"streamline/internal/mem"
+)
+
+// This file is the batched access-stream kernel: AccessBatch executes a
+// caller-provided chunk of demand loads in one straight-line loop instead
+// of one Access call per load. The simulated machine is untouched — every
+// state transition (cache contents, replacement ages, prefetcher training,
+// DRAM timing, statistics) is identical to issuing the same addresses
+// through Access one at a time, which the cross-machine property test in
+// batch_test.go and the golden conformance suite pin. What the batch
+// removes is interface-crossing overhead: the per-access prologue (core
+// bounds check, fast-path dispatch, field loads, line decomposition
+// set-up) runs once per chunk, and L1 hit runs are served by the inlined
+// cache.HintHit comparison without re-entering the scalar path.
+//
+// The hit short circuit is only taken where it is provably equivalent to
+// the scalar path: on the fast configuration (single trust domain, no TLB,
+// no random fill) an access whose line sits in the L1's hinted way
+// performs exactly {hit count, replacement touch, L1 latency} and nothing
+// else — no prefetcher observation (those fire only on L1 misses), no TLB
+// lookup (not modelled on this path), no domain selection (one domain).
+// Any run-breaking event — a hint miss, an L1 miss, a configuration with
+// TLB/partitions/random fill — falls back to the scalar accessFast or
+// accessGeneral path for that access, so prefetch triggers, page-boundary
+// effects and mitigation features keep their exact scalar behaviour.
+
+// BatchClock describes how the local clock advances across the accesses of
+// one batch, mirroring the cost conventions of the scalar call sites:
+//
+//	cost(access) = latency/Div + Extra     (Div <= 1 means the full latency)
+//
+// With Hold false the next access is issued at the previous access's issue
+// time plus its cost (dependent or pipelined loads — the hier/stream and
+// attack probe loops). With Hold true every access is issued at the batch
+// start time while costs still accumulate (a burst issued at one timestamp
+// — the noise agents and setup-time warmup walks).
+type BatchClock struct {
+	// Div divides each access's latency in the cost term (memory-level
+	// parallelism); values <= 1 charge the full latency.
+	Div int
+	// Extra is a constant per-access cost (loop overhead) added after the
+	// scaled latency.
+	Extra uint64
+	// Hold freezes the issue clock at the batch start time.
+	Hold bool
+}
+
+// BatchResult aggregates one AccessBatch execution.
+type BatchResult struct {
+	// Cost is the total clock advance of the batch under the BatchClock
+	// cost model.
+	Cost uint64
+	// LatencySum is the sum of the raw access latencies (the probe loops
+	// of the conflict attacks decode on this).
+	LatencySum uint64
+	// Served counts the batch's accesses per serving level.
+	Served [4]uint64
+}
+
+// AccessBatch performs len(addrs) demand loads from core, starting at time
+// now, exactly as if the caller had run
+//
+//	t := now
+//	for _, a := range addrs {
+//		r := h.Access(core, a, t)
+//		c := uint64(r.Latency)/div + clk.Extra
+//		res.Cost += c
+//		res.LatencySum += uint64(r.Latency)
+//		res.Served[r.Level]++
+//		if !clk.Hold {
+//			t += c
+//		}
+//	}
+//
+// but with the per-access prologue hoisted out of the loop and L1 hit runs
+// short-circuited. It allocates nothing.
+func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk BatchClock) BatchResult {
+	h.checkCore(core)
+	div := uint64(1)
+	if clk.Div > 1 {
+		div = uint64(clk.Div)
+	}
+	var res BatchResult
+	t := now
+	if !h.fast {
+		// General configurations (partitioned LLC, TLB, random fill) keep
+		// the scalar per-access path: their feature hooks are exercised on
+		// every access, so there is no run the loop can prove safe to
+		// short-circuit.
+		for _, a := range addrs {
+			r := h.accessGeneral(core, a, t)
+			c := uint64(r.Latency)/div + clk.Extra
+			res.Cost += c
+			res.LatencySum += uint64(r.Latency)
+			res.Served[r.Level]++
+			if !clk.Hold {
+				t += c
+			}
+		}
+		return res
+	}
+	l1 := h.l1[core]
+	spc := &h.ServedPerCore[core]
+	shift := uint(bits.TrailingZeros64(uint64(h.geom.LineBytes)))
+	l1Lat := uint64(h.mach.Lat.L1Hit)
+	l1Cost := l1Lat/div + clk.Extra
+	for _, a := range addrs {
+		if l := mem.Line(uint64(a) >> shift); l1.HintHit(l) {
+			// Identical to accessFast's L1-hit path: no machine state
+			// beyond the cache-side hit bookkeeping is touched by an L1
+			// hinted-way hit.
+			l1.OnHintHit(l)
+			h.Served[L1]++
+			spc[L1]++
+			res.Served[L1]++
+			res.Cost += l1Cost
+			res.LatencySum += l1Lat
+			if !clk.Hold {
+				t += l1Cost
+			}
+			continue
+		}
+		r := h.accessFast(core, a, t)
+		c := uint64(r.Latency)/div + clk.Extra
+		res.Cost += c
+		res.LatencySum += uint64(r.Latency)
+		res.Served[r.Level]++
+		if !clk.Hold {
+			t += c
+		}
+	}
+	return res
+}

@@ -302,7 +302,8 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	line := h.geom.LineOf(a)
 	lat := &h.mach.Lat
 
-	if h.l1[core].Access(line).Hit {
+	l1 := h.l1[core]
+	if l1.Access(line).Hit {
 		h.count(core, L1)
 		return AccessResult{Latency: lat.L1Hit, Level: L1}
 	}
@@ -310,13 +311,19 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	// lookup below installs it there on a miss, so the only explicit fill
 	// left is the trailing L1 touch on each path (normally a hint-served
 	// hit; a re-fill only when a prefetch back-invalidated the line
-	// mid-access). Private evictions are silent: lines are clean and the
-	// LLC is inclusive.
+	// mid-access). The touch goes through the inlinable HintHit pair:
+	// the install above left the hint pointing at the line, so the slow
+	// Access call happens only in the back-invalidation case. Private
+	// evictions are silent: lines are clean and the LLC is inclusive.
 	l2hit := h.l2[core].Access(line).Hit
 	evictedSelf := h.prefetchAfterFast(core, a, line)
 	if l2hit {
 		h.count(core, L2)
-		h.l1[core].Access(line)
+		if l1.HintHit(line) {
+			l1.OnHintHit(line)
+		} else {
+			l1.Access(line)
+		}
 		if evictedSelf {
 			// The prefetch above evicted this very line from the LLC, so
 			// the L1 copy the line above just touched (or re-installed) is
@@ -331,7 +338,11 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	idx := llc.SetOf(line)*h.dirWays + llcRes.Way
 	if llcRes.Hit {
 		h.dir[idx] |= 1 << uint(core)
-		h.l1[core].Access(line)
+		if l1.HintHit(line) {
+			l1.OnHintHit(line)
+		} else {
+			l1.Access(line)
+		}
 		h.count(core, LLC)
 		return AccessResult{Latency: lat.LLCHit, Level: LLC}
 	}
@@ -339,7 +350,11 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 		h.backInvalidateMask(h.dir[idx], llcRes.Evicted)
 	}
 	h.dir[idx] = h.takeOrphans(line) | 1<<uint(core)
-	h.l1[core].Access(line)
+	if l1.HintHit(line) {
+		l1.OnHintHit(line)
+	} else {
+		l1.Access(line)
+	}
 	// Full miss: the line was fetched from DRAM (and filled above).
 	h.count(core, DRAM)
 	return AccessResult{Latency: h.dram.Latency(now, a), Level: DRAM}

@@ -20,6 +20,13 @@ type Addr uint64
 // Line identifies a cache line (Addr >> log2(lineBytes)).
 type Line uint64
 
+// MaxAddrSpace bounds the simulated physical address space (256GB). The
+// cap keeps every line number below 2^32 for any line size >= 64 bytes,
+// which lets the cache model store tags as 32-bit values — halving the
+// host-side footprint of its hottest arrays. Allocator.Alloc enforces it;
+// no experiment in the repository comes within two orders of magnitude.
+const MaxAddrSpace = 1 << 38
+
 // Geometry captures the line and page sizes used for address decomposition.
 type Geometry struct {
 	LineBytes int
@@ -123,5 +130,8 @@ func (a *Allocator) Alloc(size int) Region {
 	rounded := (size + a.page - 1) / a.page * a.page
 	r := Region{Base: a.next, Size: rounded}
 	a.next += Addr(rounded)
+	if a.next > MaxAddrSpace {
+		panic(fmt.Sprintf("mem: allocations exceed the %dGB simulated address space", MaxAddrSpace>>30))
+	}
 	return r
 }

@@ -59,6 +59,7 @@ type Workload struct {
 	reg  mem.Region
 	x    *rng.Xoshiro
 	pos  int
+	buf  []mem.Addr // reused batch address buffer
 
 	// Accesses counts the demand loads issued so far.
 	Accesses uint64
@@ -93,37 +94,51 @@ func (w *Workload) Step(now uint64) (uint64, bool) {
 	if batch < 1 {
 		batch = 1
 	}
-	var cost uint64
-	for b := 0; b < batch; b++ {
+	if w.cfg.Shape == FlushStorm {
+		// Flushes interleave with the loads, so the storm keeps the scalar
+		// per-access path.
+		var cost uint64
+		for b := 0; b < batch; b++ {
+			a := w.reg.AddrAt(w.x.Intn(lines) * lineBytes)
+			r := w.h.Access(w.core, a, now)
+			w.Accesses++
+			flushLat, _ := w.h.Flush(w.core, a)
+			cost += uint64(r.Latency) + uint64(flushLat) + uint64(w.cfg.ComputeGap)
+		}
+		return cost, false
+	}
+	// Every other shape generates its batch of addresses up front and runs
+	// them through the batch kernel in one call, issued at the step's own
+	// timestamp (BatchClock.Hold).
+	if cap(w.buf) < batch {
+		w.buf = make([]mem.Addr, batch)
+	}
+	buf := w.buf[:batch]
+	for b := range buf {
 		var off int
 		switch w.cfg.Shape {
 		case Seq:
 			off = w.pos * lineBytes
 			w.pos = (w.pos + 1) % lines
-		case Rand, Chase, FlushStorm:
+		case Rand, Chase:
 			off = w.x.Intn(lines) * lineBytes
 		case Strided:
 			off = w.pos * lineBytes
 			w.pos = (w.pos + w.cfg.Stride/lineBytes) % lines
 		}
-		a := w.reg.AddrAt(off)
-		r := w.h.Access(w.core, a, now)
-		w.Accesses++
-		switch w.cfg.Shape {
-		case Chase:
-			// Dependent loads: full latency serializes.
-			cost += uint64(r.Latency)
-		case FlushStorm:
-			flushLat, _ := w.h.Flush(w.core, a)
-			cost += uint64(r.Latency) + uint64(flushLat)
-		default:
-			// Independent loads overlap: a fraction of the latency is
-			// exposed on average at the machine's MLP.
-			cost += uint64(r.Latency)/uint64(w.h.Machine().MLP) + 4
-		}
-		cost += uint64(w.cfg.ComputeGap)
+		buf[b] = w.reg.AddrAt(off)
 	}
-	return cost, false
+	clk := hier.BatchClock{Hold: true, Extra: uint64(w.cfg.ComputeGap)}
+	if w.cfg.Shape != Chase {
+		// Independent loads overlap: a fraction of the latency is exposed
+		// on average at the machine's MLP, plus fixed loop overhead. Chase
+		// is dependent loads, whose full latency serializes (Div <= 1).
+		clk.Div = w.h.Machine().MLP
+		clk.Extra += 4
+	}
+	res := w.h.AccessBatch(w.core, buf, now, clk)
+	w.Accesses += uint64(batch)
+	return res.Cost, false
 }
 
 // StressNG returns the catalogue of stress-ng-flavoured kernels used by the

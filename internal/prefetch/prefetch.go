@@ -67,13 +67,17 @@ func (p *NextLine) Name() string { return "nextline" }
 
 // Observe implements Prefetcher.
 func (p *NextLine) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
-	cur := p.g.LineOf(addr)
+	return p.observe(p.g.LineOf(addr), p.g.LineInPage(addr), dst)
+}
+
+// observe is Observe with the address already decomposed; the Composite
+// fast path shares one decomposition across all three prefetchers.
+func (p *NextLine) observe(cur mem.Line, lip int, dst []mem.Addr) []mem.Addr {
 	streak := p.lastSet && cur == p.last+1
 	p.last, p.lastSet = cur, true
 	if !streak {
 		return dst
 	}
-	lip := p.g.LineInPage(addr)
 	if lip+1 >= p.g.LinesPerPage() {
 		return dst // never cross the page boundary
 	}
@@ -107,6 +111,12 @@ type Streamer struct {
 	g     mem.Geometry
 	pages []uint64 // tracked page per slot; pageNone = free
 	meta  []streamMeta
+	// last is the slot of the most recently observed page. Streaming
+	// workloads revisit one page dozens of times before moving on, so the
+	// hint usually answers the lookup with a single comparison instead of
+	// a scan of all tracked pages. Purely a lookup accelerator: a stale
+	// hint falls through to the scan, which gives the identical answer.
+	last  int
 	clock uint32
 	// Window is the maximum |stride| (in lines) the streamer can learn.
 	// Intel's streamer keys on dense runs; 2 reproduces Table 1's x<=2
@@ -144,13 +154,18 @@ func (p *Streamer) Reset() {
 		p.pages[i] = pageNone
 		p.meta[i] = streamMeta{}
 	}
+	p.last = 0
 	p.clock = 0
 }
 
 // Observe implements Prefetcher.
 func (p *Streamer) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
-	page := p.g.PageOf(addr)
-	lip := int8(p.g.LineInPage(addr))
+	return p.observe(addr, p.g.PageOf(addr), int8(p.g.LineInPage(addr)), dst)
+}
+
+// observe is Observe with the address already decomposed (see
+// NextLine.observe).
+func (p *Streamer) observe(addr mem.Addr, page uint64, lip int8, dst []mem.Addr) []mem.Addr {
 	p.clock++
 
 	i := p.lookup(page)
@@ -158,6 +173,7 @@ func (p *Streamer) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
 		i = p.victim()
 		p.pages[i] = page
 		p.meta[i] = streamMeta{lastLip: lip, lru: p.clock}
+		p.last = i
 		return dst
 	}
 	e := &p.meta[i]
@@ -202,11 +218,16 @@ func (p *Streamer) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
 	return dst
 }
 
-// lookup returns the slot tracking page, or -1. The scan touches only the
-// 128-byte page array, not the training metadata.
+// lookup returns the slot tracking page, or -1. The last-observed-slot
+// hint is tried first; on a hint miss the scan touches only the 128-byte
+// page array, not the training metadata.
 func (p *Streamer) lookup(page uint64) int {
+	if p.pages[p.last] == page {
+		return p.last
+	}
 	for i, pg := range p.pages {
 		if pg == page {
+			p.last = i
 			return i
 		}
 	}
@@ -261,6 +282,13 @@ func (p *Stride) Reset() { *p = Stride{g: p.g, Degree: p.Degree, ConfThreshold: 
 
 // Observe implements Prefetcher.
 func (p *Stride) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
+	return p.observe(addr, p.g.PageOf(addr), dst)
+}
+
+// observe is Observe with the page precomputed (see NextLine.observe). The
+// page is only consumed on the trained path, but the Composite fast path
+// has already paid for it.
+func (p *Stride) observe(addr mem.Addr, page uint64, dst []mem.Addr) []mem.Addr {
 	if !p.lastSet {
 		p.lastAddr, p.lastSet = addr, true
 		return dst
@@ -287,7 +315,6 @@ func (p *Stride) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
 	}
 	// Trained: prefetch ahead, staying within the page of each target.
 	cur := int64(addr)
-	page := p.g.PageOf(addr)
 	for i := 0; i < p.Degree; i++ {
 		cur += d
 		if cur < 0 {
@@ -307,12 +334,33 @@ func (p *Stride) Observe(addr mem.Addr, _ bool, dst []mem.Addr) []mem.Addr {
 type Composite struct {
 	g     mem.Geometry
 	parts []Prefetcher
-	seen  map[mem.Line]struct{}
+	// nl/st/sd devirtualize the stock Intel-like composition (mirroring
+	// internal/cache's concrete-type policy dispatch): when the parts are
+	// exactly [NextLine, Streamer, Stride] the Observe loop calls them
+	// through these concrete pointers, skipping three interface dispatches
+	// on every observation. All non-nil or all nil.
+	nl *NextLine
+	st *Streamer
+	sd *Stride
+	// seen is the per-observation dedup scratch. Observations propose at
+	// most 1+Degree+Degree candidate lines, so a linear scan of a small
+	// slice beats a hash map (whose clear/hash/probe cost dominated the
+	// pre-batching Observe profile).
+	seen []mem.Line
 }
 
 // NewComposite returns a prefetcher combining parts in order.
 func NewComposite(g mem.Geometry, parts ...Prefetcher) *Composite {
-	return &Composite{g: g, parts: parts, seen: make(map[mem.Line]struct{}, 8)}
+	c := &Composite{g: g, parts: parts, seen: make([]mem.Line, 0, 8)}
+	if len(parts) == 3 {
+		nl, okNL := parts[0].(*NextLine)
+		st, okST := parts[1].(*Streamer)
+		sd, okSD := parts[2].(*Stride)
+		if okNL && okST && okSD {
+			c.nl, c.st, c.sd = nl, st, sd
+		}
+	}
+	return c
 }
 
 // NewIntelLike returns the default composite used in the experiments:
@@ -335,21 +383,43 @@ func (p *Composite) Reset() {
 // Observe implements Prefetcher.
 func (p *Composite) Observe(addr mem.Addr, hit bool, dst []mem.Addr) []mem.Addr {
 	start := len(dst)
-	for _, part := range p.parts {
-		dst = part.Observe(addr, hit, dst)
+	if p.nl != nil {
+		// Decompose the address once and hand the pieces to the fused
+		// observe methods: the three parts would otherwise repeat the
+		// same line/page/line-in-page shifts on every observation.
+		line := p.g.LineOf(addr)
+		page := p.g.PageOf(addr)
+		lip := p.g.LineInPage(addr)
+		dst = p.nl.observe(line, lip, dst)
+		dst = p.st.observe(addr, page, int8(lip), dst)
+		dst = p.sd.observe(addr, page, dst)
+	} else {
+		for _, part := range p.parts {
+			dst = part.Observe(addr, hit, dst)
+		}
 	}
 	if len(dst)-start <= 1 {
 		return dst
 	}
-	// Deduplicate the candidates proposed this observation.
-	clear(p.seen)
+	// Deduplicate the candidates proposed this observation, keeping the
+	// first occurrence of each line (the same order the map-based dedup
+	// produced: membership decided duplicates, iteration order never
+	// mattered).
+	p.seen = p.seen[:0]
 	out := dst[:start]
 	for _, a := range dst[start:] {
 		l := p.g.LineOf(a)
-		if _, dup := p.seen[l]; dup {
+		dup := false
+		for _, s := range p.seen {
+			if s == l {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		p.seen[l] = struct{}{}
+		p.seen = append(p.seen, l)
 		out = append(out, a)
 	}
 	return out

@@ -100,11 +100,28 @@ func (x *Xoshiro) Bool() bool { return x.Uint64()&1 == 1 }
 // Norm returns an approximately standard-normal variate using the sum of 12
 // uniforms (Irwin-Hall). The tails are truncated at ±6 sigma, which is
 // acceptable for latency-jitter modelling and avoids math imports.
+//
+// The twelve generator steps run on register-resident state copies with a
+// single store-back: the hierarchy draws one Norm per DRAM access and per
+// decoded bit, and twelve round trips through the heap-resident state
+// dominate the naive loop. The value stream is bit-identical to twelve
+// Float64 calls — same state transitions, same uniform-to-float conversion,
+// same left-to-right summation order (pinned by TestNormMatchesFloat64Sum).
 func (x *Xoshiro) Norm() float64 {
+	s0, s1, s2, s3 := x.s[0], x.s[1], x.s[2], x.s[3]
 	var s float64
 	for i := 0; i < 12; i++ {
-		s += x.Float64()
+		r := rotl(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = rotl(s3, 45)
+		s += float64(r>>11) / (1 << 53)
 	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
 	return s - 6
 }
 

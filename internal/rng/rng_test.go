@@ -187,3 +187,28 @@ func BenchmarkKeystreamBit(b *testing.B) {
 		_ = k.Bit()
 	}
 }
+
+// TestNormMatchesFloat64Sum pins the unrolled Norm to its definition: the
+// sum of twelve sequential Float64 draws minus six, bit for bit, with the
+// generator state advanced identically. Any deviation (reordered summation,
+// a different uniform conversion, a skipped state step) changes simulated
+// latencies and breaks golden-output identity.
+func TestNormMatchesFloat64Sum(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, 1 << 63} {
+		a := New(seed)
+		b := New(seed)
+		for i := 0; i < 10_000; i++ {
+			var want float64
+			for j := 0; j < 12; j++ {
+				want += b.Float64()
+			}
+			want -= 6
+			if got := a.Norm(); got != want {
+				t.Fatalf("seed %#x draw %d: Norm() = %v, want %v", seed, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("seed %#x: generator states diverged after 10k Norm draws", seed)
+		}
+	}
+}

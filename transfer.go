@@ -7,6 +7,7 @@ import (
 
 	"streamline/internal/core"
 	"streamline/internal/payload"
+	"streamline/internal/rng"
 )
 
 // ReliableOptions tunes SendReliable's selective-repeat protocol.
@@ -85,7 +86,11 @@ func SendReliable(cfg Config, data []byte, opt ReliableOptions) (*ReliableResult
 		for _, id := range pending {
 			buf = append(buf, block(id)...)
 		}
-		cfg.Seed = baseSeed + uint64(res.Rounds)*0x9e37 // a retry is a fresh run
+		// A retry is a fresh run: each round's seed comes from the
+		// simulator's hierarchical derivation scheme, which fully mixes the
+		// round index (a small additive constant would hand near-identical
+		// generator states to consecutive rounds).
+		cfg.Seed = rng.Derive(baseSeed, rng.HashString("reliable-round"), uint64(res.Rounds))
 		run, err := core.Run(cfg, payload.FromBytes(buf))
 		if err != nil {
 			return nil, err
@@ -111,11 +116,15 @@ func SendReliable(cfg Config, data []byte, opt ReliableOptions) (*ReliableResult
 	}
 	res.Retransmitted = len(failedOnce)
 	res.Exact = len(pending) == 0 && bytes.Equal(res.Received, data)
-	if m := cfg.Machine; m != nil && res.Cycles > 0 {
+	if res.Cycles > 0 {
+		m := cfg.Machine
+		if m == nil {
+			// An unset machine means core.Run simulated the default config's
+			// platform, so the rate conversion uses that same clock instead
+			// of a hardcoded frequency.
+			m = core.DefaultConfig().Machine
+		}
 		secs := float64(res.Cycles) / (float64(m.FreqMHz) * 1e6)
-		res.GoodputKBps = float64(len(data)) / 1024 / secs
-	} else if res.Cycles > 0 {
-		secs := float64(res.Cycles) / 3.9e9
 		res.GoodputKBps = float64(len(data)) / 1024 / secs
 	}
 	return res, nil

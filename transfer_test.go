@@ -89,3 +89,38 @@ func TestSendReliableShortPayloadAndOddBlock(t *testing.T) {
 		t.Fatal("odd-sized payload not delivered exactly")
 	}
 }
+
+// TestSendReliableMultiRoundDeterminism pins two properties of the
+// per-round seed derivation: the whole multi-round transfer is a pure
+// function of its inputs, and consecutive rounds get fully mixed seeds (a
+// near-collision would make a retry replay the previous round's noise and
+// jitter, defeating the retransmission).
+func TestSendReliableMultiRoundDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ArraySize = 16 << 20 // degraded: forces multiple rounds
+	data := randomBytes(9, 64<<10)
+	run := func() *ReliableResult {
+		res, err := SendReliable(cfg, data, ReliableOptions{MaxRounds: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Rounds < 2 {
+		t.Fatalf("need a multi-round transfer to pin, got %d rounds", a.Rounds)
+	}
+	if a.Rounds != b.Rounds || a.Cycles != b.Cycles ||
+		a.ChannelBits != b.ChannelBits || a.Retransmitted != b.Retransmitted ||
+		!bytes.Equal(a.Received, b.Received) {
+		t.Fatalf("multi-round transfer not deterministic:\n%+v\n%+v", a, b)
+	}
+	seen := map[uint64]int{}
+	for round := 0; round < 12; round++ {
+		s := rng.Derive(cfg.Seed, rng.HashString("reliable-round"), uint64(round))
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("rounds %d and %d derive the same seed %#x", prev, round, s)
+		}
+		seen[s] = round
+	}
+}
