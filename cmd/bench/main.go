@@ -39,6 +39,7 @@ import (
 	"streamline/internal/mem"
 	"streamline/internal/params"
 	"streamline/internal/payload"
+	"streamline/internal/runner"
 )
 
 // Schema is the report format version; bump it when Benchmark fields change
@@ -79,6 +80,7 @@ func main() {
 		count     = flag.Int("count", 1, "measure each benchmark this many times and keep the fastest (repetition damps scheduler noise)")
 		compareTo = flag.Bool("compare", false, "compare two existing reports (old.json new.json) and exit; no benchmarks run")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (source of cmd/bench/default.pgo)")
+		memprof   = flag.String("memprofile", "", "write a heap profile (taken after the benchmarks, post-GC) to this path")
 	)
 	testing.Init()
 	flag.Parse()
@@ -189,6 +191,21 @@ func main() {
 	if profFile != nil {
 		pprof.StopCPUProfile()
 		profFile.Close()
+	}
+	if *memprof != "" {
+		// Post-GC heap: what the benchmarks retain (pooled simulators, warm
+		// snapshots), not the transient garbage they churned.
+		runtime.GC()
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
 	}
 
 	path := *out
@@ -326,6 +343,49 @@ func suite(scale float64) []bench {
 					b.Fatal(err)
 				}
 				lastErrRate = res.Errors.Rate()
+			}
+		},
+	})
+
+	// Many-repetition sweep of one configuration: the shape of every
+	// experiment table (N seeds per parameter point) and the workload the
+	// simulator pool and warmup-snapshot memo accelerate — each op re-runs
+	// the same machine `reps` times with derived seeds. Serial workers keep
+	// the measurement scheduling-independent.
+	sweepReps := scaled(24, scale)
+	const sweepBits = 20_000
+	var sweepErrRate float64
+	suite = append(suite, bench{
+		name:      "runner/sweep",
+		bitsPerOp: sweepReps * sweepBits,
+		simErrPct: func() float64 { return sweepErrRate * 100 },
+		fn: func(b *testing.B) {
+			pay := payload.Random(1, sweepBits)
+			specs := make([]runner.Spec, sweepReps)
+			for r := range specs {
+				specs[r] = runner.Spec{Experiment: "bench-sweep", Rep: r}
+			}
+			fn := func(spec runner.Spec, seed uint64) (float64, error) {
+				cfg := core.DefaultConfig()
+				cfg.Seed = seed
+				res, err := core.Run(cfg, pay)
+				if err != nil {
+					return 0, err
+				}
+				return res.Errors.Rate(), nil
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rates, err := runner.Execute(specs, fn, runner.Options{Root: 7, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum := 0.0
+				for _, r := range rates {
+					sum += r
+				}
+				sweepErrRate = sum / float64(len(rates))
 			}
 		},
 	})

@@ -109,10 +109,16 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		domains[cfg.ReceiverCore] = 1
 		hopt.CoreDomains = domains
 	}
-	h, err := hier.New(cfg.Machine, hopt)
+	lease, err := acquireSim(&cfg, hopt)
 	if err != nil {
 		return nil, err
 	}
+	// The hierarchy goes back to the idle pool when the run finishes (after
+	// the Result has deep-copied everything it reports); every checkout
+	// resets or overwrites the state before reuse, so error paths may
+	// release a half-run simulator safely.
+	defer releaseSim(lease)
+	h := lease.h
 	alloc := mem.NewAllocator(cfg.Machine.PageSize)
 	arr := alloc.Alloc(cfg.ArraySize)
 	syncRegion := alloc.Alloc(syncch.RegionBytes(h))
@@ -154,9 +160,12 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 	// Setup-time page faulting: the sender's initialization walks the
 	// start of the shared file, leaving those lines warm (see
 	// Config.WarmupBytes).
-	if w := cfg.WarmupBytes; w > 0 {
+	if w := cfg.WarmupBytes; w > 0 && !lease.warmed {
 		if w > cfg.ArraySize {
 			w = cfg.ArraySize
+		}
+		if lease.record {
+			h.StartRecording()
 		}
 		// Setup time is not simulated, so every warmup load issues at time
 		// zero (BatchClock.Hold); the batch kernel walks each chunk of lines
@@ -169,6 +178,10 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 				h.AccessBatch(cfg.SenderCore, buf, 0, hier.BatchClock{Hold: true})
 				buf = buf[:0]
 			}
+		}
+		if lease.record {
+			storeSnapshot(lease.snapKey, h, h.StopRecording())
+			lease.record = false
 		}
 	}
 
@@ -201,10 +214,12 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		SyncWaits:      snd.SyncWaits,
 		SyncTimeouts:   snd.SyncTimeouts,
 		ReceiverLevels: rcv.Levels,
-		CoreServed:     h.ServedPerCore,
-		LevelTrace:     rcv.levelTrace,
-		MaxGap:         snd.maxGap,
-		GapSamples:     snd.gaps,
+		// Deep copy: h outlives this run in the simulator pool, and its
+		// counters are zeroed on reuse.
+		CoreServed: append([][4]uint64(nil), h.ServedPerCore...),
+		LevelTrace: rcv.levelTrace,
+		MaxGap:     snd.maxGap,
+		GapSamples: snd.gaps,
 	}
 
 	// RawErrors compares at the physical channel level (transmitted bits

@@ -1,0 +1,61 @@
+// State lifecycle for the DRAM model (see DESIGN.md "State lifecycle").
+
+package dram
+
+import "fmt"
+
+// Reset reinitializes the model in place to exactly the state New(m.cfg,
+// seed) would produce: rows closed, banks and channel idle, statistics
+// zeroed, jitter RNG reseeded. It allocates nothing.
+func (m *Model) Reset(seed uint64) {
+	m.x.Reseed(seed)
+	for i := range m.rowOpen {
+		m.rowOpen[i] = -1
+	}
+	for i := range m.bankFree {
+		m.bankFree[i] = 0
+	}
+	for i := range m.bankLastUse {
+		m.bankLastUse[i] = 0
+	}
+	m.chanFree = 0
+	m.Accesses = 0
+	m.RowHits = 0
+	m.RowMisses = 0
+	m.Conflicts = 0
+	m.FastTails = 0
+}
+
+// Clone returns a deep copy of the model that evolves independently of the
+// receiver.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.x = m.x.Clone()
+	c.rowOpen = append([]int64(nil), m.rowOpen...)
+	c.bankFree = append([]uint64(nil), m.bankFree...)
+	c.bankLastUse = append([]uint64(nil), m.bankLastUse...)
+	return &c
+}
+
+// CopyFrom overwrites the model's state with src's, in place and without
+// allocating. The two models must share a config (callers pair them by
+// fingerprint); a bank-count mismatch panics.
+func (m *Model) CopyFrom(src *Model) {
+	if m.cfg != src.cfg {
+		panic(fmt.Sprintf("dram: CopyFrom between mismatched configs %+v <- %+v", m.cfg, src.cfg))
+	}
+	m.x.CopyStateFrom(src.x)
+	copy(m.rowOpen, src.rowOpen)
+	copy(m.bankFree, src.bankFree)
+	copy(m.bankLastUse, src.bankLastUse)
+	m.chanFree = src.chanFree
+	m.Accesses = src.Accesses
+	m.RowHits = src.RowHits
+	m.RowMisses = src.RowMisses
+	m.Conflicts = src.Conflicts
+	m.FastTails = src.FastTails
+}
+
+// Config exposes the model's configuration (used for fingerprinting and the
+// CopyFrom pairing check).
+func (m *Model) Config() Config { return m.cfg }

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"streamline/internal/core"
 )
 
 // The golden conformance suite pins the exact formatted output of every
@@ -65,6 +67,15 @@ func TestGoldenConformance(t *testing.T) {
 			}
 			if par := goldenOutput(t, id, 8); !bytes.Equal(par, want) {
 				t.Errorf("workers=8 output differs from the serial golden — parallel execution is not deterministic\n--- got ---\n%s--- want ---\n%s", par, want)
+			}
+			// Third axis: simulator pooling and warmup-snapshot reuse (on by
+			// default above) must be invisible in the output — a from-scratch
+			// build per run reproduces the same bytes.
+			prev := core.SetReuse(false)
+			noReuse := goldenOutput(t, id, 8)
+			core.SetReuse(prev)
+			if !bytes.Equal(noReuse, want) {
+				t.Errorf("reuse-off output differs from the golden — simulator reuse is leaking state\n--- got ---\n%s--- want ---\n%s", noReuse, want)
 			}
 		})
 	}

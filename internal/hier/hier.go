@@ -96,6 +96,15 @@ type Options struct {
 type Hierarchy struct {
 	mach *params.Machine
 	geom mem.Geometry
+	// opt remembers the construction options so Reset can re-derive every
+	// component seed (the formulas in New) without the caller re-supplying
+	// them. opt.Seed tracks the most recent Reset.
+	opt Options
+
+	// rec, when non-nil, passively records the seed-dependent side effects
+	// of the current traffic (LLC policy events and DRAM accesses) for the
+	// warmup-snapshot cache; see warmlog.go. Nil during normal runs.
+	rec *WarmLog
 
 	l1 []*cache.Cache
 	l2 []*cache.Cache
@@ -189,7 +198,7 @@ func New(m *params.Machine, opt Options) (*Hierarchy, error) {
 	for d := 0; d < nDomains; d++ {
 		llcPol := opt.LLCPolicy
 		if llcPol == nil || d > 0 {
-			llcPol = cache.NewSkylakeLLC(opt.Seed ^ 0x11c ^ uint64(d)<<32)
+			llcPol = cache.NewSkylakeLLC(llcSeed(opt.Seed, d))
 		}
 		llc, err := cache.New(m.LLC.Sets(), llcWays, llcPol)
 		if err != nil {
@@ -206,15 +215,16 @@ func New(m *params.Machine, opt Options) (*Hierarchy, error) {
 	h := &Hierarchy{
 		mach:          m,
 		geom:          geom,
+		opt:           opt,
 		llcs:          llcs,
 		domains:       domains,
-		dram:          dram.New(dcfg, opt.Seed^0xd7a3),
+		dram:          dram.New(dcfg, opt.Seed^dramSeedXor),
 		pfBuf:         make([]mem.Addr, 0, 8),
 		fillP:         opt.RandomFillProb,
 		ServedPerCore: make([][4]uint64, m.Cores),
 	}
 	if h.fillP > 0 {
-		h.fillRnd = rng.New(opt.Seed ^ 0xf111)
+		h.fillRnd = rng.New(opt.Seed ^ fillSeedXor)
 	}
 	h.fast = nDomains == 1 && opt.TLB == nil && h.fillRnd == nil && m.Cores <= 8
 	if h.fast {
@@ -335,6 +345,9 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	}
 	llc := h.llcs[0]
 	llcRes := llc.Access(line) // installs on miss
+	if h.rec != nil {
+		h.rec.llcAccess(0, llc.SetOf(line), llcRes)
+	}
 	idx := llc.SetOf(line)*h.dirWays + llcRes.Way
 	if llcRes.Hit {
 		h.dir[idx] |= 1 << uint(core)
@@ -357,6 +370,9 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	}
 	// Full miss: the line was fetched from DRAM (and filled above).
 	h.count(core, DRAM)
+	if h.rec != nil {
+		h.rec.dram(now, a)
+	}
 	return AccessResult{Latency: h.dram.Latency(now, a), Level: DRAM}
 }
 
@@ -435,6 +451,9 @@ func (h *Hierarchy) accessGeneral(core int, a mem.Addr, now uint64) AccessResult
 		return AccessResult{Latency: h.dram.Latency(now, a) + tlbPenalty, Level: DRAM}
 	}
 	llcRes := llc.Access(line) // installs on miss
+	if h.rec != nil {
+		h.rec.llcAccess(uint8(h.domains[core]), llc.SetOf(line), llcRes)
+	}
 	if llcRes.DidEvict {
 		h.backInvalidate(h.domains[core], llcRes.Evicted)
 	}
@@ -445,6 +464,9 @@ func (h *Hierarchy) accessGeneral(core int, a mem.Addr, now uint64) AccessResult
 	}
 	// Full miss: the line was fetched from DRAM (and filled above).
 	h.count(core, DRAM)
+	if h.rec != nil {
+		h.rec.dram(now, a)
+	}
 	return AccessResult{Latency: h.dram.Latency(now, a) + tlbPenalty, Level: DRAM}
 }
 
@@ -486,7 +508,12 @@ func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
 	h.pfBuf = h.pf[core].Observe(a, false, h.pfBuf[:0])
 	for _, pa := range h.pfBuf {
 		pl := h.geom.LineOf(pa)
-		if r := h.llcFor(core).InstallPrefetch(pl); r.DidEvict {
+		llc := h.llcFor(core)
+		r := llc.InstallPrefetch(pl)
+		if h.rec != nil {
+			h.rec.llcPrefetch(uint8(h.domains[core]), llc.SetOf(pl), r)
+		}
+		if r.DidEvict {
 			h.backInvalidate(h.domains[core], r.Evicted)
 		}
 		h.l2[core].InstallPrefetch(pl)
@@ -506,6 +533,9 @@ func (h *Hierarchy) prefetchAfterFast(core int, a mem.Addr, line mem.Line) (evic
 	for _, pa := range h.pfBuf {
 		pl := h.geom.LineOf(pa)
 		r := llc.InstallPrefetch(pl)
+		if h.rec != nil {
+			h.rec.llcPrefetch(0, llc.SetOf(pl), r)
+		}
 		idx := llc.SetOf(pl)*h.dirWays + r.Way
 		if r.Hit {
 			// Already resident: the L2 install below still gives this core
@@ -530,6 +560,11 @@ func (h *Hierarchy) prefetchAfterFast(core int, a mem.Addr, line mem.Line) (evic
 // the timing signal Flush+Flush decodes.
 func (h *Hierarchy) Flush(core int, a mem.Addr) (latency int, wasCached bool) {
 	h.checkCore(core)
+	if h.rec != nil {
+		// Flushes change LLC policy state in victim-dependent ways the warm
+		// log cannot re-feed; no warmup flushes, so just abort.
+		h.rec.abort()
+	}
 	line := h.geom.LineOf(a)
 	for c := range h.l1 {
 		if h.l1[c].Invalidate(line) {

@@ -1,0 +1,55 @@
+package params
+
+import (
+	"testing"
+
+	"streamline/internal/statetest"
+)
+
+// TestFingerprintFieldAudits fails when Machine (or a struct it hashes by
+// value) gains a field Fingerprint does not mix in: extend the hash in
+// fingerprint.go first, then the covered list here.
+func TestFingerprintFieldAudits(t *testing.T) {
+	statetest.Fields(t, Machine{},
+		"Name", "FreqMHz", "Cores", "L1", "L2", "LLC", "Lat",
+		"PageSize", "MLP", "NoUnprivilegedFlush")
+	statetest.Fields(t, CacheGeom{}, "SizeBytes", "Ways", "LineBytes")
+	statetest.Fields(t, Latencies{},
+		"L1Hit", "L2Hit", "LLCHit", "DRAMBase", "Threshold",
+		"TimerOverhead", "LoopOverhead", "FlushLatency", "FlushMiss")
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	a := SkylakeE3()
+	b := SkylakeE3()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical machines fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	seen := map[uint64]string{a.Fingerprint(): "baseline"}
+	perturb := map[string]func(*Machine){
+		"Name":     func(m *Machine) { m.Name += "x" },
+		"FreqMHz":  func(m *Machine) { m.FreqMHz++ },
+		"Cores":    func(m *Machine) { m.Cores++ },
+		"L1.Ways":  func(m *Machine) { m.L1.Ways *= 2 },
+		"L2.Size":  func(m *Machine) { m.L2.SizeBytes *= 2 },
+		"LLC.Line": func(m *Machine) { m.LLC.LineBytes *= 2 },
+		"Lat.LLC":  func(m *Machine) { m.Lat.LLCHit++ },
+		"PageSize": func(m *Machine) { m.PageSize *= 2 },
+		"MLP":      func(m *Machine) { m.MLP++ },
+		"NoFlush":  func(m *Machine) { m.NoUnprivilegedFlush = !m.NoUnprivilegedFlush },
+	}
+	// Sorted iteration is unnecessary: the loop only inserts into a map and
+	// reports collisions, which is order-independent.
+	for name, mutate := range perturb {
+		m := SkylakeE3()
+		mutate(m)
+		fp := m.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("perturbing %s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+}

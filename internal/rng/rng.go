@@ -40,8 +40,16 @@ type Xoshiro struct {
 // New returns a Xoshiro generator whose state is expanded from seed via
 // SplitMix64, per the authors' recommendation.
 func New(seed uint64) *Xoshiro {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro
+	x.Reseed(seed)
+	return &x
+}
+
+// Reseed reinitializes the generator in place to exactly the state New(seed)
+// would produce, without allocating. It is the state-lifecycle primitive the
+// simulator pool builds on (see DESIGN.md "State lifecycle").
+func (x *Xoshiro) Reseed(seed uint64) {
+	sm := NewSplitMix64(seed)
 	for i := range x.s {
 		x.s[i] = sm.Next()
 	}
@@ -50,8 +58,16 @@ func New(seed uint64) *Xoshiro {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
+
+// Clone returns an independent copy of the generator at its current state.
+func (x *Xoshiro) Clone() *Xoshiro {
+	c := *x
+	return &c
+}
+
+// CopyStateFrom overwrites the generator's state with src's, in place.
+func (x *Xoshiro) CopyStateFrom(src *Xoshiro) { x.s = src.s }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 

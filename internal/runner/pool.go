@@ -1,0 +1,64 @@
+// Pool is the keyed free-list behind simulator reuse (see DESIGN.md "State
+// lifecycle"): workers check out a value built for their exact configuration
+// (keyed by fingerprint), reset and run it, and return it for the next
+// repetition instead of rebuilding the machine from scratch.
+
+package runner
+
+import "sync"
+
+// Pool is a concurrency-safe keyed free-list. Values are only handed back to
+// callers that ask for the same key they were stored under, so a caller that
+// keys by configuration fingerprint never receives a value of the wrong
+// shape. Each key retains at most perKey idle values; surplus Puts are
+// dropped for the garbage collector.
+type Pool[T any] struct {
+	mu     sync.Mutex
+	perKey int
+	items  map[uint64][]T
+}
+
+// NewPool returns a pool retaining at most perKey idle values per key
+// (a non-positive perKey defaults to 8 — enough for one value per worker at
+// the default parallelism).
+func NewPool[T any](perKey int) *Pool[T] {
+	if perKey <= 0 {
+		perKey = 8
+	}
+	return &Pool[T]{perKey: perKey, items: make(map[uint64][]T)}
+}
+
+// Get removes and returns an idle value stored under key, or reports false
+// when none is available.
+func (p *Pool[T]) Get(key uint64) (T, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := p.items[key]
+	if len(free) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := free[len(free)-1]
+	var zero T
+	free[len(free)-1] = zero // drop the pool's reference
+	p.items[key] = free[:len(free)-1]
+	return v, true
+}
+
+// Put stores v under key for a later Get. Values beyond the per-key
+// retention cap are silently dropped.
+func (p *Pool[T]) Put(key uint64, v T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.items[key]) >= p.perKey {
+		return
+	}
+	p.items[key] = append(p.items[key], v)
+}
+
+// Idle returns the number of idle values currently stored under key.
+func (p *Pool[T]) Idle(key uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.items[key])
+}

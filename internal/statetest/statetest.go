@@ -1,0 +1,85 @@
+// Package statetest provides the reflection-based field audit backing the
+// simulator's state-lifecycle methods (Reset/Clone/CopyFrom; see DESIGN.md
+// "State lifecycle").
+//
+// The lifecycle methods enumerate struct fields by hand — that is what makes
+// them allocation-free — so a newly added field is invisible to them until
+// someone remembers to update three methods. Each stateful package therefore
+// declares, in its lifecycle test, the exact field set its methods cover;
+// Fields fails the test the moment the struct gains (or loses, or renames) a
+// field, pointing at every place that must be updated. PR 4's packed RRIP
+// ages are the motivating example: swapping age []uint8 for agePk []uint64
+// changes the field list, and without this tripwire a stale Reset would
+// silently leave the new layout untouched.
+package statetest
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// TB is the subset of testing.TB the audit needs; taking the interface keeps
+// this package free of a testing import in non-test builds.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+}
+
+// Fields asserts that the struct type of sample has exactly the named
+// fields. Lifecycle tests call it with the field list their package's
+// Reset/Clone/CopyFrom methods were written against; any drift — a new
+// field, a removal, a rename — fails with instructions to update both the
+// methods and the list. Embedded and unexported fields count like any other.
+func Fields(t TB, sample interface{}, covered ...string) {
+	t.Helper()
+	typ := reflect.TypeOf(sample)
+	for typ.Kind() == reflect.Ptr {
+		typ = typ.Elem()
+	}
+	if typ.Kind() != reflect.Struct {
+		t.Errorf("statetest: %v is not a struct type", typ)
+		return
+	}
+	have := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		have[typ.Field(i).Name] = true
+	}
+	want := make(map[string]bool, len(covered))
+	for _, name := range covered {
+		if want[name] {
+			t.Errorf("statetest: %v: field %q listed twice", typ, name)
+		}
+		want[name] = true
+	}
+	var missing, extra []string
+	for name := range have {
+		if !want[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range want {
+		if !have[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	for _, name := range missing {
+		t.Errorf("statetest: %v gained field %q not covered by its lifecycle methods — update Reset/Clone/CopyFrom and this audit list", typ, name)
+	}
+	for _, name := range extra {
+		t.Errorf("statetest: %v no longer has field %q — update the lifecycle methods and this audit list", typ, name)
+	}
+}
+
+// Equal reports whether two values are deeply equal, with a diagnostic
+// message for lifecycle equivalence tests.
+func Equal(t TB, label string, got, want interface{}) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: state mismatch\n got: %s\nwant: %s", label, format(got), format(want))
+	}
+}
+
+func format(v interface{}) string { return fmt.Sprintf("%+v", v) }

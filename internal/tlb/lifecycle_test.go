@@ -1,0 +1,75 @@
+package tlb
+
+import (
+	"testing"
+
+	"streamline/internal/mem"
+	"streamline/internal/rng"
+	"streamline/internal/statetest"
+)
+
+func driveTLB(tb *TLB, x *rng.Xoshiro, n int) {
+	for i := 0; i < n; i++ {
+		tb.Penalty(mem.Addr(x.Uint64() % (256 << 20)))
+	}
+}
+
+func requireSameTLB(t *testing.T, got, want *TLB, seed uint64, n int) {
+	t.Helper()
+	statetest.Equal(t, "stats",
+		[3]uint64{got.Accesses, got.L1Misses, got.Walks},
+		[3]uint64{want.Accesses, want.L1Misses, want.Walks})
+	x := rng.New(seed)
+	for i := 0; i < n; i++ {
+		a := mem.Addr(x.Uint64() % (256 << 20))
+		if g, w := got.Penalty(a), want.Penalty(a); g != w {
+			t.Fatalf("penalty divergence at suffix op %d: %d != %d", i, g, w)
+		}
+	}
+}
+
+func TestTLBResetEqualsNew(t *testing.T) {
+	dirty, err := New(Skylake4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTLB(dirty, rng.New(123), 50000)
+	dirty.Reset()
+	fresh, err := New(Skylake4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameTLB(t, dirty, fresh, 555, 50000)
+}
+
+func TestTLBCloneEquivalenceAndIndependence(t *testing.T) {
+	src, err := New(Skylake4K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTLB(src, rng.New(123), 50000)
+	c1 := src.Clone()
+	c2 := src.Clone()
+	driveTLB(c1, rng.New(321), 50000) // perturb one clone
+	requireSameTLB(t, src, c2, 555, 50000)
+}
+
+func TestTLBCopyFrom(t *testing.T) {
+	src, err := New(Skylake2M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTLB(src, rng.New(123), 50000)
+	dst, err := New(Skylake2M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveTLB(dst, rng.New(77), 10000)
+	dst.CopyFrom(src)
+	requireSameTLB(t, dst, src.Clone(), 555, 50000)
+}
+
+func TestTLBFieldAudits(t *testing.T) {
+	statetest.Fields(t, TLB{}, "cfg", "l1", "l2", "Accesses", "L1Misses", "Walks")
+	statetest.Fields(t, level{}, "sets", "ways", "tags", "stamp", "clock")
+}

@@ -1,0 +1,38 @@
+// State lifecycle for the way predictor (see DESIGN.md "State lifecycle").
+
+package waypred
+
+import "fmt"
+
+// Reset reinitializes the predictor in place to exactly the state New(p.cfg,
+// seed) would produce: every entry unowned, statistics zeroed, noise RNG
+// reseeded. It allocates nothing.
+func (p *Predictor) Reset(seed uint64) {
+	for i := range p.owner {
+		p.owner[i] = 0
+	}
+	p.x.Reseed(seed)
+	p.Accesses = 0
+	p.Mispredicts = 0
+}
+
+// Clone returns a deep copy of the predictor that evolves independently of
+// the receiver.
+func (p *Predictor) Clone() *Predictor {
+	c := *p
+	c.owner = append([]uint32(nil), p.owner...)
+	c.x = p.x.Clone()
+	return &c
+}
+
+// CopyFrom overwrites the predictor's state with src's, in place and without
+// allocating. The two predictors must share a config; a mismatch panics.
+func (p *Predictor) CopyFrom(src *Predictor) {
+	if p.cfg != src.cfg {
+		panic(fmt.Sprintf("waypred: CopyFrom between mismatched configs %+v <- %+v", p.cfg, src.cfg))
+	}
+	copy(p.owner, src.owner)
+	p.x.CopyStateFrom(src.x)
+	p.Accesses = src.Accesses
+	p.Mispredicts = src.Mispredicts
+}

@@ -1,0 +1,58 @@
+package waypred
+
+import (
+	"testing"
+
+	"streamline/internal/mem"
+	"streamline/internal/rng"
+	"streamline/internal/statetest"
+)
+
+func drivePred(p *Predictor, x *rng.Xoshiro, n int) {
+	for i := 0; i < n; i++ {
+		p.Access(mem.Addr(x.Uint64() % (64 << 20)))
+	}
+}
+
+func requireSamePred(t *testing.T, got, want *Predictor, seed uint64, n int) {
+	t.Helper()
+	statetest.Equal(t, "stats",
+		[2]uint64{got.Accesses, got.Mispredicts},
+		[2]uint64{want.Accesses, want.Mispredicts})
+	x := rng.New(seed)
+	for i := 0; i < n; i++ {
+		a := mem.Addr(x.Uint64() % (64 << 20))
+		if g, w := got.Access(a), want.Access(a); g != w {
+			t.Fatalf("latency divergence at suffix op %d: %d != %d", i, g, w)
+		}
+	}
+}
+
+func TestPredictorResetEqualsNew(t *testing.T) {
+	dirty := New(DefaultConfig(), 7)
+	drivePred(dirty, rng.New(123), 50000)
+	dirty.Reset(99)
+	requireSamePred(t, dirty, New(DefaultConfig(), 99), 555, 50000)
+}
+
+func TestPredictorCloneEquivalenceAndIndependence(t *testing.T) {
+	src := New(DefaultConfig(), 7)
+	drivePred(src, rng.New(123), 50000)
+	c1 := src.Clone()
+	c2 := src.Clone()
+	drivePred(c1, rng.New(321), 50000) // perturb one clone
+	requireSamePred(t, src, c2, 555, 50000)
+}
+
+func TestPredictorCopyFrom(t *testing.T) {
+	src := New(DefaultConfig(), 7)
+	drivePred(src, rng.New(123), 50000)
+	dst := New(DefaultConfig(), 42)
+	drivePred(dst, rng.New(77), 10000)
+	dst.CopyFrom(src)
+	requireSamePred(t, dst, src.Clone(), 555, 50000)
+}
+
+func TestPredictorFieldAudit(t *testing.T) {
+	statetest.Fields(t, Predictor{}, "cfg", "owner", "x", "Accesses", "Mispredicts")
+}
