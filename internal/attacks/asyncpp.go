@@ -55,8 +55,21 @@ type AsyncPrimeProbe struct {
 
 // NewAsyncPrimeProbe builds the channel on the Skylake machine.
 func NewAsyncPrimeProbe(seed uint64) (*AsyncPrimeProbe, error) {
-	m := params.SkylakeE3()
-	h, err := hier.New(m, hier.Options{Seed: seed})
+	return NewAsyncPrimeProbeWith(BuildOpts{Seed: seed})
+}
+
+// NewAsyncPrimeProbeWith builds the channel with full control over the
+// hierarchy (defenses, ablations) via BuildOpts. Window is ignored: the
+// protocol is asynchronous.
+func NewAsyncPrimeProbeWith(o BuildOpts) (*AsyncPrimeProbe, error) {
+	seed := o.Seed
+	m := o.Machine
+	if m == nil {
+		m = params.SkylakeE3()
+	}
+	hopt := o.Hier
+	hopt.Seed = seed
+	h, err := hier.New(m, hopt)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +107,10 @@ func NewAsyncPrimeProbe(seed uint64) (*AsyncPrimeProbe, error) {
 	}
 	return a, nil
 }
+
+// Hier exposes the hierarchy the attack runs on, for external
+// instrumentation (e.g. attaching a hier.Monitor).
+func (a *AsyncPrimeProbe) Hier() *hier.Hierarchy { return a.h }
 
 // Name implements Attack.
 func (a *AsyncPrimeProbe) Name() string { return "async-prime+probe" }

@@ -38,6 +38,23 @@ type Attack interface {
 	Run(bits []byte) (*Result, error)
 }
 
+// BuildOpts bundles the construction knobs the *With constructors share.
+// The zero value selects the defaults everywhere: Skylake, the attack's
+// default window, seed 0, an undefended hierarchy.
+type BuildOpts struct {
+	// Machine is the simulated platform; nil selects params.SkylakeE3.
+	Machine *params.Machine
+	// Window is the bit period in cycles; 0 selects the attack's default.
+	// (Ignored by the asynchronous attacks, which have no epoch clock.)
+	Window uint64
+	// Seed drives the attack's randomness (jitter, hierarchy policies).
+	Seed uint64
+	// Hier carries defense and ablation options for the hierarchy the
+	// attack runs on (partitioning, quotas, random fill, ...). Hier.Seed
+	// is overridden by Seed.
+	Hier hier.Options
+}
+
 // epochEnv bundles what the synchronous attacks share: a hierarchy, a
 // window, and alignment jitter.
 type epochEnv struct {
@@ -51,17 +68,24 @@ type epochEnv struct {
 }
 
 func newEpochEnv(m *params.Machine, window uint64, seed uint64) (*epochEnv, error) {
+	return newEpochEnvOpts(BuildOpts{Machine: m, Window: window, Seed: seed})
+}
+
+func newEpochEnvOpts(o BuildOpts) (*epochEnv, error) {
+	m := o.Machine
 	if m == nil {
 		m = params.SkylakeE3()
 	}
-	if window == 0 {
+	if o.Window == 0 {
 		return nil, fmt.Errorf("attacks: zero window")
 	}
-	h, err := hier.New(m, hier.Options{Seed: seed})
+	hopt := o.Hier
+	hopt.Seed = o.Seed
+	h, err := hier.New(m, hopt)
 	if err != nil {
 		return nil, err
 	}
-	return &epochEnv{h: h, m: m, x: rng.New(seed ^ 0xa77ac), window: window, alignSD: 150}, nil
+	return &epochEnv{h: h, m: m, x: rng.New(o.Seed ^ 0xa77ac), window: o.Window, alignSD: 150}, nil
 }
 
 // requireFlush fails on platforms without unprivileged cache-line flushes.

@@ -1,6 +1,7 @@
 package attacks
 
 import (
+	"streamline/internal/hier"
 	"streamline/internal/mem"
 	"streamline/internal/params"
 )
@@ -30,10 +31,16 @@ func NewFlushReload(window uint64, seed uint64) (*FlushReload, error) {
 // NewFlushReloadOn builds the attack on machine m (nil = Skylake). It
 // fails on platforms without unprivileged flushes (Section 2.3.2).
 func NewFlushReloadOn(m *params.Machine, window uint64, seed uint64) (*FlushReload, error) {
-	if window == 0 {
-		window = FlushReloadWindow
+	return NewFlushReloadWith(BuildOpts{Machine: m, Window: window, Seed: seed})
+}
+
+// NewFlushReloadWith builds the attack with full control over the
+// hierarchy (defenses, ablations) via BuildOpts.
+func NewFlushReloadWith(o BuildOpts) (*FlushReload, error) {
+	if o.Window == 0 {
+		o.Window = FlushReloadWindow
 	}
-	env, err := newEpochEnv(m, window, seed)
+	env, err := newEpochEnvOpts(o)
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +51,10 @@ func NewFlushReloadOn(m *params.Machine, window uint64, seed uint64) (*FlushRelo
 	reg := alloc.Alloc(4096)
 	return &FlushReload{env: env, addr: reg.Base, sCore: 0, rCore: 1}, nil
 }
+
+// Hier exposes the hierarchy the attack runs on, for external
+// instrumentation (e.g. attaching a hier.Monitor).
+func (a *FlushReload) Hier() *hier.Hierarchy { return a.env.h }
 
 // SetAlignJitter overrides the per-epoch synchronization jitter (cycles).
 // The default (150) matches the hand-tuned implementation behind Table 6's
@@ -128,10 +139,16 @@ func NewFlushFlush(window uint64, seed uint64) (*FlushFlush, error) {
 // NewFlushFlushOn builds the attack on machine m (nil = Skylake). It fails
 // on platforms without unprivileged flushes (Section 2.3.2).
 func NewFlushFlushOn(m *params.Machine, window uint64, seed uint64) (*FlushFlush, error) {
-	if window == 0 {
-		window = FlushFlushWindow
+	return NewFlushFlushWith(BuildOpts{Machine: m, Window: window, Seed: seed})
+}
+
+// NewFlushFlushWith builds the attack with full control over the hierarchy
+// (defenses, ablations) via BuildOpts.
+func NewFlushFlushWith(o BuildOpts) (*FlushFlush, error) {
+	if o.Window == 0 {
+		o.Window = FlushFlushWindow
 	}
-	env, err := newEpochEnv(m, window, seed)
+	env, err := newEpochEnvOpts(o)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +159,10 @@ func NewFlushFlushOn(m *params.Machine, window uint64, seed uint64) (*FlushFlush
 	reg := alloc.Alloc(4096)
 	return &FlushFlush{env: env, addr: reg.Base, sCore: 0, rCore: 1, flushJitterSD: 2.0}, nil
 }
+
+// Hier exposes the hierarchy the attack runs on, for external
+// instrumentation (e.g. attaching a hier.Monitor).
+func (a *FlushFlush) Hier() *hier.Hierarchy { return a.env.h }
 
 // Name implements Attack.
 func (a *FlushFlush) Name() string { return "flush+flush" }

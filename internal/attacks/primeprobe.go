@@ -40,15 +40,21 @@ func NewPrimeProbeLLC(window uint64, seed uint64) (*PrimeProbe, error) {
 // (nil = Skylake). Prime+Probe needs no flushes or shared memory, so it
 // runs on any platform.
 func NewPrimeProbeLLCOn(m *params.Machine, window uint64, seed uint64) (*PrimeProbe, error) {
-	if window == 0 {
-		window = PrimeProbeLLCWindow
+	return NewPrimeProbeLLCWith(BuildOpts{Machine: m, Window: window, Seed: seed})
+}
+
+// NewPrimeProbeLLCWith builds the cross-core LLC variant with full control
+// over the hierarchy (defenses, ablations) via BuildOpts.
+func NewPrimeProbeLLCWith(o BuildOpts) (*PrimeProbe, error) {
+	if o.Window == 0 {
+		o.Window = PrimeProbeLLCWindow
 	}
-	env, err := newEpochEnv(m, window, seed)
+	env, err := newEpochEnvOpts(o)
 	if err != nil {
 		return nil, err
 	}
 	a := &PrimeProbe{env: env, llc: true, sCore: 0, rCore: 1}
-	m = env.m
+	m := env.m
 	a.ways = m.LLC.Ways
 	// Receiver lines: `ways` addresses mapping to the same LLC set
 	// (stride = sets * lineBytes); the sender's target is one more tag in
@@ -66,6 +72,10 @@ func NewPrimeProbeLLCOn(m *params.Machine, window uint64, seed uint64) (*PrimePr
 	a.probeJitterSD = 6
 	return a, nil
 }
+
+// Hier exposes the hierarchy the attack runs on, for external
+// instrumentation (e.g. attaching a hier.Monitor).
+func (a *PrimeProbe) Hier() *hier.Hierarchy { return a.env.h }
 
 // NewPrimeProbeL1 builds the same-core (SMT) L1 variant in Percival's
 // style; window 0 selects the default.

@@ -90,7 +90,12 @@ type Cache struct {
 	rrip     *RRIP     // non-nil iff kind == polRRIP
 	plru     *TreePLRU // non-nil iff kind == polPLRU
 	pol      Policy
-	Stats    Stats
+	// quota, when non-nil, tracks per-domain way ownership and budgets
+	// (CacheBar-style; see quota.go). All quota bookkeeping hangs off this
+	// one pointer so the lifecycle methods and field audits see a single
+	// extra field.
+	quota *quotaState
+	Stats Stats
 }
 
 // New builds a cache with the given geometry and replacement policy. The
@@ -221,6 +226,16 @@ func (c *Cache) Access(l mem.Line) Result {
 	default:
 		c.pol.OnMiss(set)
 	}
+	if c.quota != nil {
+		// Quota-managed caches keep their accounting correct even for
+		// callers that do not attribute accesses (warmup walks, eviction-set
+		// construction): fills are billed to domain 0. The guard sits on the
+		// miss path only — the hit path above is exactly AccessOwned's
+		// non-denial hit path, so unattributed hits need no special casing —
+		// keeping the per-hit cost of every non-quota cache (all L1s/L2s,
+		// and the LLC in every undefended run) unchanged.
+		return c.fillOwned(set, base, l, 0, false)
+	}
 	return c.fill(set, base, l, false)
 }
 
@@ -236,6 +251,10 @@ func (c *Cache) InstallPrefetch(l mem.Line) Result {
 		return Result{Hit: true, Way: w}
 	}
 	c.Stats.Prefetches++
+	if c.quota != nil {
+		// Unattributed prefetch fills bill to domain 0 (see Access).
+		return c.fillOwned(set, base, l, 0, true)
+	}
 	return c.fill(set, base, l, true)
 }
 
@@ -322,6 +341,9 @@ func (c *Cache) Invalidate(l mem.Line) bool {
 	w := c.find(set, base, l)
 	if w < 0 {
 		return false
+	}
+	if q := c.quota; q != nil {
+		q.occ[set*q.domains+int(q.owner[base+w])]--
 	}
 	c.tags[base+w] = invalidTag
 	c.setOcc[set]--

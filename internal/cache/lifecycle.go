@@ -229,6 +229,15 @@ func (c *Cache) Reset(seed uint64) error {
 		c.setOcc[i] = 0
 	}
 	c.occupied = 0
+	if q := c.quota; q != nil {
+		for i := range q.owner {
+			q.owner[i] = 0
+		}
+		for i := range q.occ {
+			q.occ[i] = 0
+		}
+		copy(q.budget, q.initial)
+	}
 	c.Stats = Stats{}
 	lc.Reset(seed)
 	return nil
@@ -258,6 +267,15 @@ func (c *Cache) Clone() (*Cache, error) {
 	case *TreePLRU:
 		n.kind, n.plru = polPLRU, p
 	}
+	if q := c.quota; q != nil {
+		n.quota = &quotaState{
+			domains: q.domains,
+			owner:   append([]uint8(nil), q.owner...),
+			occ:     append([]uint16(nil), q.occ...),
+			budget:  append([]uint16(nil), q.budget...),
+			initial: append([]uint16(nil), q.initial...),
+		}
+	}
 	return n, nil
 }
 
@@ -273,10 +291,20 @@ func (c *Cache) CopyFrom(src *Cache) {
 	if err != nil {
 		panic(err)
 	}
+	if (c.quota == nil) != (src.quota == nil) ||
+		(c.quota != nil && c.quota.domains != src.quota.domains) {
+		panic("cache: CopyFrom between mismatched quota configurations")
+	}
 	copy(c.tags, src.tags)
 	copy(c.mru, src.mru)
 	copy(c.setOcc, src.setOcc)
 	c.occupied = src.occupied
+	if q := c.quota; q != nil {
+		copy(q.owner, src.quota.owner)
+		copy(q.occ, src.quota.occ)
+		copy(q.budget, src.quota.budget)
+		copy(q.initial, src.quota.initial)
+	}
 	c.Stats = src.Stats
 	lc.CopyStateFrom(src.pol)
 }

@@ -214,7 +214,8 @@ func TestCacheLifecycleRefusesForeignPolicy(t *testing.T) {
 func TestLifecycleFieldAudits(t *testing.T) {
 	statetest.Fields(t, Cache{},
 		"sets", "ways", "setMask", "tags", "mru", "setOcc", "occupied",
-		"kind", "rrip", "plru", "pol", "Stats")
+		"kind", "rrip", "plru", "pol", "quota", "Stats")
+	statetest.Fields(t, quotaState{}, "domains", "owner", "occ", "budget", "initial")
 	statetest.Fields(t, LRU{}, "ways", "stamp", "clock")
 	statetest.Fields(t, Random{}, "ways", "x")
 	statetest.Fields(t, NRU{}, "ways", "ref", "ptr")

@@ -70,6 +70,11 @@ type Result struct {
 	// LevelTrace holds each channel bit's serving level when
 	// Config.TraceLevels is set.
 	LevelTrace []byte
+	// Counters holds the per-core performance-counter windows recorded
+	// when Config.CounterWindow > 0 (windows of CounterWindow cycles,
+	// starting after warmup). Feed them to internal/defense to score the
+	// run's detectability.
+	Counters []hier.CounterWindow
 }
 
 // BitPeriodCycles returns the average cycles per channel bit.
@@ -96,6 +101,7 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		DRAM:            cfg.DRAM,
 		Seed:            cfg.Seed,
 		RandomFillProb:  cfg.RandomFillProb,
+		Quota:           cfg.Quota,
 	}
 	if !cfg.HugePages {
 		t := tlb.Skylake4K()
@@ -185,6 +191,15 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		}
 	}
 
+	// The monitor attaches after warmup (setup-time page faulting is not
+	// something a runtime detector samples), so the counter trace is
+	// identical whether the warm state was replayed or rebuilt.
+	var mon *hier.Monitor
+	if cfg.CounterWindow > 0 {
+		mon = hier.NewMonitor(cfg.Machine.Cores, cfg.CounterWindow)
+		h.AttachMonitor(mon)
+	}
+
 	var s sched.Scheduler
 	s.MaxSteps = uint64(len(tx))*64 + 1<<22
 	s.Add(snd, 0)
@@ -206,6 +221,13 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 	if _, err := s.Run(); err != nil {
 		return nil, err
 	}
+	var counters []hier.CounterWindow
+	if mon != nil {
+		// Detach before the hierarchy returns to the pool: a later run must
+		// not keep appending to this run's windows.
+		h.DetachMonitor()
+		counters = mon.Windows()
+	}
 
 	res := &Result{
 		PayloadBits:    len(payloadBits),
@@ -220,6 +242,7 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		LevelTrace: rcv.levelTrace,
 		MaxGap:     snd.maxGap,
 		GapSamples: snd.gaps,
+		Counters:   counters,
 	}
 
 	// RawErrors compares at the physical channel level (transmitted bits

@@ -21,6 +21,7 @@ import (
 
 	"streamline/internal/cache"
 	"streamline/internal/dram"
+	"streamline/internal/hier"
 	"streamline/internal/noise"
 	"streamline/internal/params"
 	"streamline/internal/pattern"
@@ -134,6 +135,16 @@ type Config struct {
 	// RandomFillProb enables the random-fill noise-injection mitigation:
 	// each demand fill skips the LLC with this probability.
 	RandomFillProb float64
+	// Quota enables the CacheBar-style mitigation: one shared LLC with
+	// per-core way budgets (and optionally copy-on-access denial of
+	// cross-domain hits). Mutually exclusive with PartitionWays; each core
+	// is its own accounting domain.
+	Quota *hier.QuotaConfig
+	// CounterWindow streams per-core performance counters out of the
+	// hierarchy in windows of this many cycles (Result.Counters) — the
+	// input to the internal/defense detector pipeline. 0 disables the
+	// counters; enabling them provably does not perturb the simulation.
+	CounterWindow uint64
 	// GapClamp, when positive, makes the sender idle whenever it is
 	// GapClamp bits ahead of the receiver. The Figure 6 experiment uses
 	// this to hold the sender-receiver gap at a controlled value; it is
@@ -202,6 +213,9 @@ func (c *Config) validate() error {
 	}
 	if c.CamouflageAccesses < 0 {
 		return fmt.Errorf("core: negative camouflage accesses")
+	}
+	if c.Quota != nil && c.PartitionWays > 0 {
+		return fmt.Errorf("core: Quota and PartitionWays are mutually exclusive")
 	}
 	return nil
 }

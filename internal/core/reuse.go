@@ -151,7 +151,8 @@ func snapKey(runFp uint64, warmBytes, senderCore int) uint64 {
 // the right shape is free (reset in place), or freshly built. Configurations
 // outside the lifecycle get a plain hier.New and are never pooled.
 func acquireSim(cfg *Config, hopt hier.Options) (*simLease, error) {
-	poolable := !reuseDisabled.Load() && cfg.LLCPolicy == nil && cfg.RandomFillProb == 0
+	poolable := !reuseDisabled.Load() && cfg.LLCPolicy == nil && cfg.RandomFillProb == 0 &&
+		cfg.Quota == nil
 	if !poolable {
 		h, err := hier.New(cfg.Machine, hopt)
 		if err != nil {

@@ -51,6 +51,60 @@ func TestInspectRates(t *testing.T) {
 	}
 }
 
+// TestInspectThresholdBoundaries pins the >= semantics of both thresholds:
+// a profile exactly at a threshold is flagged, one epsilon under is not,
+// and either threshold alone never flags.
+func TestInspectThresholdBoundaries(t *testing.T) {
+	d := NewDetector() // 3.0 acc/kcycle, 25% miss
+	cases := []struct {
+		name    string
+		served  [4]uint64
+		cycles  uint64
+		flagged bool
+	}{
+		// 3 accesses in 1000 cycles: exactly 3.0 acc/kcycle; miss 1/3.
+		{"rate-exactly-at", [4]uint64{0, 0, 2, 1}, 1000, true},
+		// Same traffic over one more cycle: 2.997 acc/kcycle.
+		{"rate-just-under", [4]uint64{0, 0, 2, 1}, 1001, false},
+		// Miss rate exactly 1/4 with rate 4.0.
+		{"miss-exactly-at", [4]uint64{0, 0, 3, 1}, 1000, true},
+		// Miss rate 1/5 with rate 5.0.
+		{"miss-just-under", [4]uint64{0, 0, 4, 1}, 1000, false},
+		// Rate side only: hot but every lookup hits.
+		{"rate-only", [4]uint64{10, 0, 10, 0}, 1000, false},
+		// Miss side only: everything misses but the core is idle.
+		{"miss-only", [4]uint64{0, 0, 0, 1}, 1_000_000, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := d.Inspect([][4]uint64{tc.served}, tc.cycles)
+			if v[0].Flagged != tc.flagged {
+				t.Fatalf("served=%v cycles=%d: flagged=%v, want %v (%s)",
+					tc.served, tc.cycles, v[0].Flagged, tc.flagged, v[0])
+			}
+		})
+	}
+}
+
+// TestVerdictStringGolden pins the exact rendering; the experiment tables
+// embed these strings, so drift shows up as golden-file churn.
+func TestVerdictStringGolden(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want string
+	}{
+		{Verdict{Core: 2, AccessesPerKCycle: 4.26, LLCMissRate: 0.5, Flagged: true},
+			"core 2: 4.3 acc/kcycle, 50% LLC miss FLAGGED"},
+		{Verdict{Core: 0, AccessesPerKCycle: 0, LLCMissRate: 0, Flagged: false},
+			"core 0: 0.0 acc/kcycle, 0% LLC miss  "},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("Verdict.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
 func TestVerdictString(t *testing.T) {
 	v := Verdict{Core: 2, AccessesPerKCycle: 4.2, LLCMissRate: 0.5, Flagged: true}
 	s := v.String()

@@ -1,0 +1,254 @@
+// The detector pipeline: per-core performance-counter windows streamed out
+// of the hierarchy (hier.Monitor) are fed through pluggable classifiers,
+// and an attack's stealth score is one minus its detection probability
+// averaged across observation-window scales — the Flush+Flush evaluation
+// methodology (Gruss et al.) applied to every attack in internal/attacks.
+//
+// Everything here is pure arithmetic over recorded windows: no clocks, no
+// RNG, no map iteration — a trace scores identically on every run, worker
+// count, and pooling mode, which lets the defmatrix experiment pin stealth
+// scores in the golden conformance suite.
+
+package defense
+
+import (
+	"fmt"
+	"math"
+
+	"streamline/internal/hier"
+)
+
+// Sample is one core's served-level counters over one observation window.
+type Sample struct {
+	Core   int
+	Cycles uint64
+	// Served counts the accesses served per hierarchy level (indexed by
+	// hier.Level) during the window.
+	Served [4]uint64
+}
+
+// AccessesPerKCycle returns the sample's demand-access rate.
+func (s Sample) AccessesPerKCycle() float64 {
+	cycles := s.Cycles
+	if cycles == 0 {
+		cycles = 1
+	}
+	var total uint64
+	for _, v := range s.Served {
+		total += v
+	}
+	return float64(total) / float64(cycles) * 1000
+}
+
+// LLCMissRate returns DRAM accesses / (LLC + DRAM accesses) for the sample.
+func (s Sample) LLCMissRate() float64 {
+	lookups := s.Served[hier.LLC] + s.Served[hier.DRAM]
+	if lookups == 0 {
+		return 0
+	}
+	return float64(s.Served[hier.DRAM]) / float64(lookups)
+}
+
+// Classifier consumes a stream of per-window samples and flags cores whose
+// counter profile looks like a cache attack. Implementations may keep
+// rolling per-core state; Reset clears it between traces. Observe must be
+// called for every sample of a trace in window order (the pipeline does) so
+// stateful classifiers see a gapless history.
+type Classifier interface {
+	Name() string
+	Reset()
+	// Observe consumes one window's sample for one core and reports
+	// whether the classifier flags that core at that window.
+	Observe(s Sample) bool
+}
+
+// ThresholdClassifier applies the Detector thresholds window by window: a
+// core is flagged in any window where it sustains both the access rate and
+// the LLC miss rate. It is stateless.
+type ThresholdClassifier struct {
+	Detector
+}
+
+// NewThresholdClassifier wraps the default Detector as a windowed
+// classifier.
+func NewThresholdClassifier() *ThresholdClassifier {
+	return &ThresholdClassifier{Detector: NewDetector()}
+}
+
+// Name implements Classifier.
+func (c *ThresholdClassifier) Name() string { return "threshold" }
+
+// Reset implements Classifier (no state).
+func (c *ThresholdClassifier) Reset() {}
+
+// Observe implements Classifier.
+func (c *ThresholdClassifier) Observe(s Sample) bool {
+	return s.AccessesPerKCycle() >= c.MinAccessesPerKCycle &&
+		s.LLCMissRate() >= c.MinLLCMissRate
+}
+
+// VarianceClassifier flags machine-steady miss streams: a rolling window of
+// per-core miss counts whose mean clears a rate floor while the
+// coefficient of variation stays under a cap. Human and bursty workloads
+// miss erratically; a covert channel's epoch clock produces a metronome.
+// The rolling state is a fixed ring per core, so classification is
+// deterministic and allocation-free after construction.
+type VarianceClassifier struct {
+	// MinMissesPerKCycle floors the mean miss rate: quieter cores are
+	// never flagged, whatever their regularity.
+	MinMissesPerKCycle float64
+	// MaxCV caps the coefficient of variation (stddev/mean) of the miss
+	// counts across the rolling history.
+	MaxCV float64
+
+	depth int
+	ring  []uint64 // [cores*depth] per-core miss-count history
+	count []int    // per-core valid entries (saturates at depth)
+	pos   []int    // per-core next ring slot
+}
+
+// Default VarianceClassifier tuning: eight windows of history, at least one
+// miss per two kcycles on average, and at most 8% relative deviation — the
+// regularity a fixed epoch length stamps onto the miss counters.
+const (
+	varianceDepth      = 8
+	defaultMinMissRate = 0.5
+	defaultMaxCV       = 0.08
+)
+
+// NewVarianceClassifier returns the default rolling-window variance
+// detector for the given core count.
+func NewVarianceClassifier(cores int) *VarianceClassifier {
+	if cores <= 0 {
+		panic("defense: variance classifier needs a positive core count")
+	}
+	return &VarianceClassifier{
+		MinMissesPerKCycle: defaultMinMissRate,
+		MaxCV:              defaultMaxCV,
+		depth:              varianceDepth,
+		ring:               make([]uint64, cores*varianceDepth),
+		count:              make([]int, cores),
+		pos:                make([]int, cores),
+	}
+}
+
+// Name implements Classifier.
+func (c *VarianceClassifier) Name() string { return "miss-variance" }
+
+// Reset implements Classifier.
+func (c *VarianceClassifier) Reset() {
+	for i := range c.ring {
+		c.ring[i] = 0
+	}
+	for i := range c.count {
+		c.count[i] = 0
+		c.pos[i] = 0
+	}
+}
+
+// Observe implements Classifier.
+func (c *VarianceClassifier) Observe(s Sample) bool {
+	if s.Core >= len(c.count) {
+		panic(fmt.Sprintf("defense: core %d beyond the classifier's %d cores", s.Core, len(c.count)))
+	}
+	base := s.Core * c.depth
+	c.ring[base+c.pos[s.Core]] = s.Served[hier.DRAM]
+	c.pos[s.Core] = (c.pos[s.Core] + 1) % c.depth
+	if c.count[s.Core] < c.depth {
+		c.count[s.Core]++
+		return false // not enough history yet
+	}
+	var sum float64
+	for _, v := range c.ring[base : base+c.depth] {
+		sum += float64(v)
+	}
+	mean := sum / float64(c.depth)
+	cycles := s.Cycles
+	if cycles == 0 {
+		cycles = 1
+	}
+	if mean/float64(cycles)*1000 < c.MinMissesPerKCycle {
+		return false
+	}
+	var sq float64
+	for _, v := range c.ring[base : base+c.depth] {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq/float64(c.depth)) <= c.MaxCV*mean
+}
+
+// DefaultClassifiers returns the standard pipeline: the threshold profiler
+// plus the rolling-window variance detector.
+func DefaultClassifiers(cores int) []Classifier {
+	return []Classifier{NewThresholdClassifier(), NewVarianceClassifier(cores)}
+}
+
+// DefaultScales are the observation-window aggregation factors stealth is
+// averaged over: the monitor's base window, and 4x and 16x coarsenings (a
+// detector sampling counters slower sees smoother aggregates).
+func DefaultScales() []int { return []int{1, 4, 16} }
+
+// DetectionRate replays the counter trace at the given aggregation factor
+// (agg consecutive base windows per observation) through the classifiers
+// and returns the fraction of observations in which at least one classifier
+// flagged at least one of the listed cores. Classifiers are Reset first;
+// every sample is observed even after a flag so stateful classifiers see
+// the full history.
+func DetectionRate(wins []hier.CounterWindow, windowCycles uint64, agg int, cores []int, cls []Classifier) float64 {
+	if agg < 1 {
+		agg = 1
+	}
+	nObs := len(wins) / agg
+	if nObs == 0 {
+		return 0
+	}
+	for _, c := range cls {
+		c.Reset()
+	}
+	flagged := 0
+	for i := 0; i < nObs; i++ {
+		hit := false
+		for _, core := range cores {
+			s := Sample{Core: core, Cycles: windowCycles * uint64(agg)}
+			for j := i * agg; j < (i+1)*agg; j++ {
+				for l := range s.Served {
+					s.Served[l] += wins[j].PerCore[core][l]
+				}
+			}
+			for _, c := range cls {
+				if c.Observe(s) {
+					hit = true
+				}
+			}
+		}
+		if hit {
+			flagged++
+		}
+	}
+	return float64(flagged) / float64(nObs)
+}
+
+// StealthScore is 1 minus the mean detection rate across the window
+// scales: 1.0 means the trace was never flagged at any scale, 0.0 that
+// every observation at every scale was. Scales with no complete
+// observation window are skipped; a trace too short for every scale scores
+// a (vacuous) 1.0.
+func StealthScore(wins []hier.CounterWindow, windowCycles uint64, cores []int, cls []Classifier, scales []int) float64 {
+	if len(scales) == 0 {
+		scales = DefaultScales()
+	}
+	var sum float64
+	n := 0
+	for _, agg := range scales {
+		if agg < 1 || len(wins)/agg == 0 {
+			continue
+		}
+		sum += DetectionRate(wins, windowCycles, agg, cores, cls)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1 - sum/float64(n)
+}

@@ -1,0 +1,151 @@
+package defense
+
+import (
+	"testing"
+
+	"streamline/internal/hier"
+	"streamline/internal/statetest"
+)
+
+// mkWindows builds a single-core counter trace from per-window DRAM miss
+// counts, with hits making the access rate comfortably hot.
+func mkWindows(misses ...uint64) []hier.CounterWindow {
+	wins := make([]hier.CounterWindow, len(misses))
+	for i, m := range misses {
+		wins[i] = hier.CounterWindow{PerCore: [][4]uint64{{0, 0, m, m}}}
+	}
+	return wins
+}
+
+func TestThresholdClassifierMatchesInspect(t *testing.T) {
+	d := NewDetector()
+	cl := NewThresholdClassifier()
+	cases := [][4]uint64{
+		{0, 0, 40, 60},
+		{90, 0, 10, 0},
+		{0, 0, 0, 0},
+		{0, 0, 2, 1},
+	}
+	for _, served := range cases {
+		const cycles = 1000
+		want := d.Inspect([][4]uint64{served}, cycles)[0].Flagged
+		got := cl.Observe(Sample{Core: 0, Cycles: cycles, Served: served})
+		if got != want {
+			t.Errorf("served=%v: classifier=%v, Inspect=%v", served, got, want)
+		}
+	}
+}
+
+// TestVarianceClassifierFlagsMetronome pins the rolling-window rule: a
+// machine-steady miss stream is flagged once the history fills; a bursty
+// stream with the same mean is not; a quiet stream is never flagged.
+func TestVarianceClassifierFlagsMetronome(t *testing.T) {
+	observeAll := func(cl *VarianceClassifier, misses []uint64) (flags []bool) {
+		for _, m := range misses {
+			flags = append(flags, cl.Observe(Sample{
+				Core: 0, Cycles: 1000, Served: [4]uint64{0, 0, m, m},
+			}))
+		}
+		return flags
+	}
+	steady := make([]uint64, 12)
+	for i := range steady {
+		steady[i] = 100
+	}
+	flags := observeAll(NewVarianceClassifier(1), steady)
+	for i, f := range flags {
+		if want := i >= varianceDepth; f != want {
+			t.Fatalf("steady stream window %d: flagged=%v, want %v", i, f, want)
+		}
+	}
+	bursty := make([]uint64, 12)
+	for i := range bursty {
+		if i%2 == 0 {
+			bursty[i] = 200
+		}
+	}
+	for i, f := range observeAll(NewVarianceClassifier(1), bursty) {
+		if f {
+			t.Fatalf("bursty stream flagged at window %d", i)
+		}
+	}
+	quiet := make([]uint64, 12) // all zero: mean rate under the floor
+	for i, f := range observeAll(NewVarianceClassifier(1), quiet) {
+		if f {
+			t.Fatalf("quiet stream flagged at window %d", i)
+		}
+	}
+}
+
+// TestVarianceClassifierResetEqualsFresh is the lifecycle property for the
+// only stateful classifier: after arbitrary traffic, Reset reproduces a
+// fresh classifier's flag sequence exactly.
+func TestVarianceClassifierResetEqualsFresh(t *testing.T) {
+	dirty := NewVarianceClassifier(2)
+	for i := uint64(0); i < 40; i++ {
+		dirty.Observe(Sample{Core: int(i % 2), Cycles: 1000, Served: [4]uint64{0, 0, i, i * 7 % 13}})
+	}
+	dirty.Reset()
+	fresh := NewVarianceClassifier(2)
+	for i := uint64(0); i < 40; i++ {
+		s := Sample{Core: int(i % 2), Cycles: 1000, Served: [4]uint64{0, 0, 9, 100 + i%2}}
+		if d, f := dirty.Observe(s), fresh.Observe(s); d != f {
+			t.Fatalf("window %d: reset classifier %v, fresh %v", i, d, f)
+		}
+	}
+}
+
+func TestDetectionRateAggregation(t *testing.T) {
+	// Every window hot and missing: the threshold rule flags each one.
+	wins := mkWindows(500, 500, 500, 500, 500, 500, 500, 500)
+	cls := []Classifier{NewThresholdClassifier()}
+	for _, agg := range []int{1, 2, 4} {
+		if r := DetectionRate(wins, 1000, agg, []int{0}, cls); r != 1 {
+			t.Fatalf("agg %d: detection rate %v, want 1", agg, r)
+		}
+	}
+	// Aggregation coarser than the trace yields no observations.
+	if r := DetectionRate(wins, 1000, 16, []int{0}, cls); r != 0 {
+		t.Fatalf("oversized aggregation: detection rate %v, want 0", r)
+	}
+	// An idle trace is never flagged.
+	if r := DetectionRate(mkWindows(0, 0, 0, 0), 1000, 1, []int{0}, cls); r != 0 {
+		t.Fatalf("idle trace: detection rate %v, want 0", r)
+	}
+}
+
+func TestStealthScoreBounds(t *testing.T) {
+	cls := DefaultClassifiers(1)
+	hot := mkWindows(500, 500, 500, 500, 500, 500, 500, 500,
+		500, 500, 500, 500, 500, 500, 500, 500)
+	if s := StealthScore(hot, 1000, []int{0}, cls, nil); s != 0 {
+		t.Fatalf("always-flagged trace: stealth %v, want 0", s)
+	}
+	idle := mkWindows(0, 0, 0, 0)
+	if s := StealthScore(idle, 1000, []int{0}, cls, nil); s != 1 {
+		t.Fatalf("idle trace: stealth %v, want 1", s)
+	}
+	if s := StealthScore(nil, 1000, []int{0}, cls, nil); s != 1 {
+		t.Fatalf("empty trace: stealth %v, want 1 (vacuous)", s)
+	}
+}
+
+func TestStealthScoreDeterminism(t *testing.T) {
+	trace := mkWindows(10, 200, 10, 200, 10, 200, 10, 200, 10, 200, 10, 200, 10, 200, 10, 200)
+	a := StealthScore(trace, 1000, []int{0}, DefaultClassifiers(1), nil)
+	b := StealthScore(trace, 1000, []int{0}, DefaultClassifiers(1), nil)
+	if a != b {
+		t.Fatalf("stealth score not deterministic: %v != %v", a, b)
+	}
+}
+
+// TestDefenseFieldAudits pins the classifier structs' field sets so a new
+// field fails here until Reset (and the audit list) covers it.
+func TestDefenseFieldAudits(t *testing.T) {
+	statetest.Fields(t, ThresholdClassifier{}, "Detector")
+	statetest.Fields(t, VarianceClassifier{},
+		"MinMissesPerKCycle", "MaxCV", "depth", "ring", "count", "pos")
+	statetest.Fields(t, Detector{}, "MinAccessesPerKCycle", "MinLLCMissRate")
+	statetest.Fields(t, Sample{}, "Core", "Cycles", "Served")
+	statetest.Fields(t, Verdict{}, "Core", "AccessesPerKCycle", "LLCMissRate", "Flagged")
+}

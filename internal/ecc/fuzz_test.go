@@ -1,0 +1,67 @@
+package ecc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the SECDED codec with arbitrary inputs and pins its
+// three contracts at once: Decode never panics and errors exactly on
+// packet-misaligned input; Encode/Decode round-trips cleanly with no
+// spurious corrections; and a single flipped bit anywhere in the coded
+// stream is corrected back to the original data.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{1, 0, 1, 1}, uint16(3))
+	f.Add(bytes.Repeat([]byte{1}, DataBits), uint16(CodewordBits-1))
+	f.Add(bytes.Repeat([]byte{0, 1}, 100), uint16(140))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1}, uint16(72))
+	f.Fuzz(func(t *testing.T, raw []byte, flip uint16) {
+		// Contract 1 — arbitrary input (any byte values: Decode masks to
+		// bit 0 internally): no panic, and an error exactly when the
+		// length is not a whole number of codewords.
+		if _, _, err := Decode(raw); (err != nil) != (len(raw)%CodewordBits != 0) {
+			t.Fatalf("Decode of %d raw bytes: error = %v, want error iff misaligned", len(raw), err)
+		}
+
+		bits := make([]byte, len(raw))
+		for i, v := range raw {
+			bits[i] = v & 1
+		}
+		if len(bits) == 0 {
+			return
+		}
+
+		// Contract 2 — round-trip: Encode then Decode recovers the data
+		// (zero-padded to whole packets) with nothing to correct.
+		enc := Encode(bits)
+		if len(enc) != EncodedLen(len(bits)) {
+			t.Fatalf("Encode produced %d bits, want %d", len(enc), EncodedLen(len(bits)))
+		}
+		dec, res, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Corrected != 0 || res.Detected != 0 {
+			t.Fatalf("clean codewords reported corrections: %+v", res)
+		}
+		if !bytes.Equal(dec[:len(bits)], bits) {
+			t.Fatal("round-trip mismatch on clean codewords")
+		}
+
+		// Contract 3 — single-bit flip: corrected, data intact, exactly
+		// one packet reports a correction.
+		pos := int(flip) % len(enc)
+		enc[pos] ^= 1
+		dec, res, err = Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec[:len(bits)], bits) {
+			t.Fatalf("single-bit flip at %d not corrected", pos)
+		}
+		if res.Corrected != 1 || res.Detected != 0 {
+			t.Fatalf("single-bit flip at %d reported %+v, want exactly one correction", pos, res)
+		}
+	})
+}

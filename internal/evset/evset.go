@@ -54,17 +54,22 @@ func (f *Finder) access(a mem.Addr) int {
 	return r.Latency
 }
 
-// evicts reports whether accessing every address in group (twice, to defeat
-// replacement-policy insertion ages) evicts target from the caches.
+// evicts reports whether accessing every address in group (several times,
+// to defeat replacement-policy insertion ages) evicts target from the
+// caches. Four passes, not two: under the seeded non-LRU LLC policy a
+// double pass of an exactly-minimal group leaves the verdict marginal —
+// it flips with the replacement state — while extra passes only add true
+// aging (a non-congruent group never touches the target's set, so they
+// cannot manufacture a false positive).
 func (f *Finder) evicts(target mem.Addr, group []mem.Addr) bool {
 	hits := 0
 	for try := 0; try < f.Retries; try++ {
 		// Bring the target in.
 		f.access(target)
 		f.access(target) // promote: a single-use line is evicted too easily
-		// Walk the candidate group twice: the second pass ages the
+		// Walk the candidate group repeatedly: later passes age the
 		// target past the group lines' insertion ages.
-		for pass := 0; pass < 2; pass++ {
+		for pass := 0; pass < 4; pass++ {
 			for _, a := range group {
 				f.access(a)
 			}

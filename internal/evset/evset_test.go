@@ -1,6 +1,7 @@
 package evset
 
 import (
+	"reflect"
 	"testing"
 
 	"streamline/internal/hier"
@@ -103,6 +104,100 @@ func TestFindErrorsOnUselessPool(t *testing.T) {
 	}
 	if _, err := f.Find(targetReg.Base, pool); err == nil {
 		t.Fatal("useless pool accepted")
+	}
+}
+
+// TestFindProperties is the table-driven property suite for the group-
+// testing reduction. Across seeds and pool shapes the result must be:
+// minimal (exactly `ways` addresses, and no survivor individually
+// removable), drawn from the pool without duplicates, congruent (every
+// survivor maps to the target's LLC set — the ground truth that makes
+// `ways` distinct congruent lines a minimal eviction set in an inclusive
+// LLC), still evicting by the timing probe, and deterministic (the same
+// seed reproduces the same set and the same access count).
+func TestFindProperties(t *testing.T) {
+	cases := []struct {
+		name    string
+		seed    uint64
+		poolMul int  // same-set candidates, x LLC associativity
+		dilute  int  // unrelated addresses mixed in
+		strict  bool // verify no single survivor is removable
+	}{
+		{"seed1-2x-strict", 1, 2, 0, true},
+		{"seed2-3x-diluted", 2, 3, 32, false},
+		{"seed7-2x-diluted", 7, 2, 16, false},
+		{"seed42-4x", 42, 4, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			find := func() (mem.Addr, []mem.Addr, []mem.Addr, uint64, *hier.Hierarchy, *Finder) {
+				h, alloc, f := setup(t, tc.seed)
+				target := alloc.Alloc(4096).Base
+				buf := alloc.Alloc(96 << 20)
+				pool := f.SameSetPool(target, buf, tc.poolMul*h.Machine().LLC.Ways)
+				for i := 0; i < tc.dilute; i++ {
+					pool = append(pool, buf.AddrAt(i*8192+1024))
+				}
+				got, err := f.Find(target, pool)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return target, got, pool, f.Accesses, h, f
+			}
+			target, got, pool, cost, h, f := find()
+
+			// Minimal: exactly associativity-many addresses.
+			ways := h.Machine().LLC.Ways
+			if len(got) != ways {
+				t.Fatalf("reduced set has %d addresses, want %d", len(got), ways)
+			}
+			// Drawn from the pool, no duplicates.
+			inPool := make(map[mem.Addr]bool, len(pool))
+			for _, a := range pool {
+				inPool[a] = true
+			}
+			seen := make(map[mem.Addr]bool, len(got))
+			for _, a := range got {
+				if !inPool[a] {
+					t.Fatalf("survivor %#x was not in the pool", uint64(a))
+				}
+				if seen[a] {
+					t.Fatalf("duplicate survivor %#x", uint64(a))
+				}
+				seen[a] = true
+			}
+			// Congruent: every survivor shares the target's LLC set.
+			llc := h.LLC()
+			tset := llc.SetOf(h.Geometry().LineOf(target))
+			for _, a := range got {
+				if llc.SetOf(h.Geometry().LineOf(a)) != tset {
+					t.Fatalf("survivor %#x maps to set %d, want %d",
+						uint64(a), llc.SetOf(h.Geometry().LineOf(a)), tset)
+				}
+			}
+			// Still an eviction set by the timing probe.
+			if !f.evicts(target, got) {
+				t.Fatal("reduced set does not evict the target")
+			}
+			// Strictly minimal: dropping any one survivor breaks eviction.
+			if tc.strict {
+				for i := range got {
+					sub := append(append([]mem.Addr(nil), got[:i]...), got[i+1:]...)
+					if f.evicts(target, sub) {
+						t.Fatalf("set still evicts without member %d — not minimal", i)
+					}
+				}
+			}
+			// Deterministic: a second run from the same seed reproduces the
+			// set and the access count exactly.
+			_, got2, _, cost2, _, _ := find()
+			if !reflect.DeepEqual(got, got2) {
+				t.Fatalf("same seed produced different sets:\n%v\n%v", got, got2)
+			}
+			if cost != cost2 {
+				t.Fatalf("same seed produced different access counts: %d vs %d", cost, cost2)
+			}
+		})
 	}
 }
 

@@ -205,6 +205,7 @@ var registry = map[string]planner{
 	"mitigations":          planMitigations,
 	"asyncpp":              planAsyncPP,
 	"ablation-hugepages":   planAblationHugePages,
+	"defmatrix":            planDefMatrix,
 }
 
 // IDs returns all experiment ids in stable order.

@@ -94,6 +94,9 @@ func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk Batc
 		// short-circuit.
 		for _, a := range addrs {
 			r := h.accessGeneral(core, a, t)
+			if h.mon != nil {
+				h.mon.observe(core, r.Level, t)
+			}
 			c := uint64(r.Latency)/div + clk.Extra
 			res.Cost += c
 			res.LatencySum += uint64(r.Latency)
@@ -117,6 +120,9 @@ func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk Batc
 			l1.OnHintHit(l)
 			h.Served[L1]++
 			spc[L1]++
+			if h.mon != nil {
+				h.mon.observe(core, L1, t)
+			}
 			res.Served[L1]++
 			res.Cost += l1Cost
 			res.LatencySum += l1Lat
@@ -126,6 +132,9 @@ func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk Batc
 			continue
 		}
 		r := h.accessFast(core, a, t)
+		if h.mon != nil {
+			h.mon.observe(core, r.Level, t)
+		}
 		c := uint64(r.Latency)/div + clk.Extra
 		res.Cost += c
 		res.LatencySum += uint64(r.Latency)

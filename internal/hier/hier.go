@@ -78,6 +78,13 @@ type Options struct {
 	// requesting domain's lines, so cross-domain cache hits — the signal
 	// every shared-memory cache attack decodes — cannot happen.
 	PartitionWays int
+	// Quota, when non-nil, enables CacheBar-style dynamic way quotas on a
+	// single shared LLC (see QuotaConfig in quota.go): per-domain per-set
+	// occupancy budgets, periodically rebalanced from demand, with an
+	// optional copy-on-access mode for cross-domain shared lines. Trust
+	// domains come from CoreDomains exactly as with PartitionWays (nil: one
+	// domain per core); the two isolation modes are mutually exclusive.
+	Quota *QuotaConfig
 	// RandomFillProb is the probability that a demand fill skips the LLC
 	// (random-fill caches, Liu & Lee): the data is returned to the core
 	// but not deterministically cached, denying the sender reliable
@@ -117,6 +124,16 @@ type Hierarchy struct {
 	tlbs    []*tlb.TLB
 	fillRnd *rng.Xoshiro // non-nil when RandomFillProb > 0
 	fillP   float64
+
+	// quota, when non-nil, is the dynamic way-quota rebalancer driving the
+	// single quota-managed LLC (see quota.go).
+	quota *quotaMgr
+
+	// mon, when non-nil, receives a served-level observation for every
+	// demand access (see monitor.go). It is external instrumentation, never
+	// consulted for an access's outcome: Reset and Clone drop it, CopyFrom
+	// leaves the destination's attachment alone.
+	mon *Monitor
 
 	pfBuf []mem.Addr
 
@@ -164,10 +181,14 @@ func New(m *params.Machine, opt Options) (*Hierarchy, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Trust domains: cores map to LLC partitions when PartitionWays > 0.
+	// Trust domains: cores map to LLC partitions when PartitionWays > 0,
+	// and to quota accounting domains when Quota is set.
+	if opt.PartitionWays > 0 && opt.Quota != nil {
+		return nil, fmt.Errorf("hier: PartitionWays and Quota are mutually exclusive isolation modes")
+	}
 	domains := make([]int, m.Cores)
 	nDomains := 1
-	if opt.PartitionWays > 0 {
+	if opt.PartitionWays > 0 || opt.Quota != nil {
 		if opt.PartitionWays > m.LLC.Ways {
 			return nil, fmt.Errorf("hier: partition of %d ways exceeds LLC associativity %d",
 				opt.PartitionWays, m.LLC.Ways)
@@ -185,7 +206,7 @@ func New(m *params.Machine, opt Options) (*Hierarchy, error) {
 				nDomains = domains[c] + 1
 			}
 		}
-		if nDomains*opt.PartitionWays > m.LLC.Ways {
+		if opt.PartitionWays > 0 && nDomains*opt.PartitionWays > m.LLC.Ways {
 			return nil, fmt.Errorf("hier: %d domains x %d ways exceed LLC associativity %d",
 				nDomains, opt.PartitionWays, m.LLC.Ways)
 		}
@@ -194,8 +215,14 @@ func New(m *params.Machine, opt Options) (*Hierarchy, error) {
 	if opt.PartitionWays > 0 {
 		llcWays = opt.PartitionWays
 	}
+	nLLCs := nDomains
+	if opt.Quota != nil {
+		// Quota domains share one LLC: the domains are occupancy
+		// accounting, not separate caches.
+		nLLCs = 1
+	}
 	var llcs []*cache.Cache
-	for d := 0; d < nDomains; d++ {
+	for d := 0; d < nLLCs; d++ {
 		llcPol := opt.LLCPolicy
 		if llcPol == nil || d > 0 {
 			llcPol = cache.NewSkylakeLLC(llcSeed(opt.Seed, d))
@@ -226,7 +253,17 @@ func New(m *params.Machine, opt Options) (*Hierarchy, error) {
 	if h.fillP > 0 {
 		h.fillRnd = rng.New(opt.Seed ^ fillSeedXor)
 	}
-	h.fast = nDomains == 1 && opt.TLB == nil && h.fillRnd == nil && m.Cores <= 8
+	if opt.Quota != nil {
+		budgets, err := opt.Quota.initialBudgets(nDomains, m.LLC.Ways)
+		if err != nil {
+			return nil, err
+		}
+		if err := llcs[0].EnableQuota(budgets); err != nil {
+			return nil, err
+		}
+		h.quota = newQuotaMgr(*opt.Quota, budgets, m.LLC.Ways)
+	}
+	h.fast = nDomains == 1 && opt.TLB == nil && h.fillRnd == nil && h.quota == nil && m.Cores <= 8
 	if h.fast {
 		h.dirWays = llcs[0].Ways()
 		h.dir = make([]uint8, llcs[0].Sets()*h.dirWays)
@@ -277,8 +314,14 @@ func (h *Hierarchy) Geometry() mem.Geometry { return h.geom }
 // systems) for diagnostics and tests.
 func (h *Hierarchy) LLC() *cache.Cache { return h.llcs[0] }
 
-// llcFor returns the LLC partition visible to core.
-func (h *Hierarchy) llcFor(core int) *cache.Cache { return h.llcs[h.domains[core]] }
+// llcFor returns the LLC partition visible to core. Quota domains all see
+// the single shared LLC; their domain index is accounting, not a partition.
+func (h *Hierarchy) llcFor(core int) *cache.Cache {
+	if h.quota != nil {
+		return h.llcs[0]
+	}
+	return h.llcs[h.domains[core]]
+}
 
 // DRAMModel exposes the DRAM model for diagnostics.
 func (h *Hierarchy) DRAMModel() *dram.Model { return h.dram }
@@ -295,10 +338,16 @@ func (h *Hierarchy) checkCore(core int) {
 // returns its latency and serving level.
 func (h *Hierarchy) Access(core int, a mem.Addr, now uint64) AccessResult {
 	h.checkCore(core)
+	var r AccessResult
 	if h.fast {
-		return h.accessFast(core, a, now)
+		r = h.accessFast(core, a, now)
+	} else {
+		r = h.accessGeneral(core, a, now)
 	}
-	return h.accessGeneral(core, a, now)
+	if h.mon != nil {
+		h.mon.observe(core, r.Level, now)
+	}
+	return r
 }
 
 // accessFast is the straight-line hot path for the common configuration
@@ -441,6 +490,9 @@ func (h *Hierarchy) accessGeneral(core int, a mem.Addr, now uint64) AccessResult
 		return AccessResult{Latency: lat.L2Hit + tlbPenalty, Level: L2}
 	}
 	llc := h.llcFor(core)
+	if h.quota != nil {
+		return h.accessQuota(core, llc, line, a, now, tlbPenalty)
+	}
 	if h.fillRnd != nil && !llc.Probe(line) && h.fillRnd.Float64() < h.fillP {
 		// Random-fill defense: serve the miss without caching it in the
 		// LLC. (The private fill still happens: the requester keeps its
@@ -489,6 +541,16 @@ func (h *Hierarchy) backInvalidate(domain int, line mem.Line) {
 	}
 }
 
+// backInvalidateAll removes every core's private copies of line: the
+// quota-managed LLC is shared across trust domains, so (unlike partitioned
+// evictions) any core may hold a copy of its victims.
+func (h *Hierarchy) backInvalidateAll(line mem.Line) {
+	for c := range h.l1 {
+		h.l1[c].Invalidate(line)
+		h.l2[c].Invalidate(line)
+	}
+}
+
 // backInvalidateMask is backInvalidate for the fast path: only the cores
 // whose directory bit is set are probed, in ascending core order (the same
 // order the broadcast visits them). Cores with stale bits hold nothing, so
@@ -509,12 +571,22 @@ func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
 	for _, pa := range h.pfBuf {
 		pl := h.geom.LineOf(pa)
 		llc := h.llcFor(core)
-		r := llc.InstallPrefetch(pl)
+		var r cache.Result
+		if h.quota != nil {
+			// Prefetch fills count against the requesting core's quota.
+			r = llc.InstallPrefetchOwned(pl, uint8(h.domains[core]))
+		} else {
+			r = llc.InstallPrefetch(pl)
+		}
 		if h.rec != nil {
 			h.rec.llcPrefetch(uint8(h.domains[core]), llc.SetOf(pl), r)
 		}
 		if r.DidEvict {
-			h.backInvalidate(h.domains[core], r.Evicted)
+			if h.quota != nil {
+				h.backInvalidateAll(r.Evicted)
+			} else {
+				h.backInvalidate(h.domains[core], r.Evicted)
+			}
 		}
 		h.l2[core].InstallPrefetch(pl)
 	}

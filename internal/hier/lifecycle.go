@@ -38,6 +38,10 @@ func (h *Hierarchy) Reset(seed uint64) error {
 		return fmt.Errorf("hier: Reset cannot re-derive the caller-supplied LLC policy %s", h.opt.LLCPolicy.Name())
 	}
 	h.rec = nil
+	h.mon = nil // external instrumentation: a fresh hierarchy has none
+	if h.quota != nil {
+		h.quota.reset()
+	}
 	for d, llc := range h.llcs {
 		if err := llc.Reset(llcSeed(seed, d)); err != nil {
 			return fmt.Errorf("LLC[%d]: %w", d, err)
@@ -123,6 +127,11 @@ func (h *Hierarchy) Clone() (*Hierarchy, error) {
 	if h.fillRnd != nil {
 		n.fillRnd = h.fillRnd.Clone()
 	}
+	if h.quota != nil {
+		n.quota = h.quota.clone()
+	}
+	// h.mon is deliberately not cloned: a monitor is external
+	// instrumentation attached to one hierarchy.
 	if h.dir != nil {
 		n.dir = append([]uint8(nil), h.dir...)
 	}
@@ -142,7 +151,8 @@ func (h *Hierarchy) Clone() (*Hierarchy, error) {
 func (h *Hierarchy) CopyFrom(src *Hierarchy) {
 	if len(h.llcs) != len(src.llcs) || len(h.l1) != len(src.l1) ||
 		h.fast != src.fast || (h.tlbs == nil) != (src.tlbs == nil) ||
-		(h.fillRnd == nil) != (src.fillRnd == nil) {
+		(h.fillRnd == nil) != (src.fillRnd == nil) ||
+		(h.quota == nil) != (src.quota == nil) {
 		panic("hier: CopyFrom between mismatched hierarchies")
 	}
 	for d := range h.llcs {
@@ -160,6 +170,11 @@ func (h *Hierarchy) CopyFrom(src *Hierarchy) {
 	if h.fillRnd != nil {
 		h.fillRnd.CopyStateFrom(src.fillRnd)
 	}
+	if h.quota != nil {
+		h.quota.copyFrom(src.quota)
+	}
+	// h.mon is left untouched: the destination keeps (or lacks) its own
+	// instrumentation.
 	h.pfBuf = h.pfBuf[:0]
 	copy(h.dir, src.dir)
 	h.orphans = append(h.orphans[:0], src.orphans...)

@@ -31,6 +31,14 @@ func lifecycleVariants() map[string]func(seed uint64) (*params.Machine, Options)
 		"skylake-randfill": func(seed uint64) (*params.Machine, Options) {
 			return params.SkylakeE3(), Options{Seed: seed, RandomFillProb: 0.5}
 		},
+		"skylake-quota": func(seed uint64) (*params.Machine, Options) {
+			return params.SkylakeE3(), Options{Seed: seed,
+				Quota: &QuotaConfig{MinWays: 2, RebalancePeriod: 512, CopyOnAccess: true}}
+		},
+		"skylake-quota-static": func(seed uint64) (*params.Machine, Options) {
+			return params.SkylakeE3(), Options{Seed: seed,
+				Quota: &QuotaConfig{DomainWays: []int{6, 4, 3, 3}}}
+		},
 		"arm-default": func(seed uint64) (*params.Machine, Options) {
 			return params.ARMCortexA72(), Options{Seed: seed}
 		},
@@ -205,6 +213,11 @@ func TestReplayWarmupEqualsFreshWarmup(t *testing.T) {
 func TestHierarchyFieldAudit(t *testing.T) {
 	statetest.Fields(t, Hierarchy{},
 		"mach", "geom", "opt", "rec", "l1", "l2", "llcs", "domains", "dram",
-		"pf", "tlbs", "fillRnd", "fillP", "pfBuf", "fast", "dir", "dirWays",
-		"orphans", "Served", "ServedPerCore", "SkippedFills")
+		"pf", "tlbs", "fillRnd", "fillP", "quota", "mon", "pfBuf", "fast",
+		"dir", "dirWays", "orphans", "Served", "ServedPerCore", "SkippedFills")
+	statetest.Fields(t, quotaMgr{},
+		"cfg", "domains", "ways", "lookups", "misses", "budget", "initial",
+		"scratch", "rems")
+	statetest.Fields(t, Monitor{}, "cores", "window", "wins")
+	statetest.Fields(t, CounterWindow{}, "PerCore")
 }

@@ -65,14 +65,6 @@ func SendReliable(cfg Config, data []byte, opt ReliableOptions) (*ReliableResult
 	}
 
 	nBlocks := (len(data) + opt.BlockBytes - 1) / opt.BlockBytes
-	block := func(id int) []byte {
-		lo := id * opt.BlockBytes
-		hi := lo + opt.BlockBytes
-		if hi > len(data) {
-			hi = len(data)
-		}
-		return data[lo:hi]
-	}
 
 	res := &ReliableResult{Received: make([]byte, len(data))}
 	pending := make([]int, nBlocks)
@@ -82,10 +74,7 @@ func SendReliable(cfg Config, data []byte, opt ReliableOptions) (*ReliableResult
 	failedOnce := make(map[int]bool)
 	baseSeed := cfg.Seed
 	for res.Rounds = 0; res.Rounds < opt.MaxRounds && len(pending) > 0; res.Rounds++ {
-		buf := make([]byte, 0, len(pending)*opt.BlockBytes)
-		for _, id := range pending {
-			buf = append(buf, block(id)...)
-		}
+		buf := roundFrame(data, pending, opt.BlockBytes)
 		// A retry is a fresh run: each round's seed comes from the
 		// simulator's hierarchical derivation scheme, which fully mixes the
 		// round index (a small additive constant would hand near-identical
@@ -99,20 +88,10 @@ func SendReliable(cfg Config, data []byte, opt ReliableOptions) (*ReliableResult
 		res.Cycles += run.Cycles
 		got := payload.ToBytes(run.Decoded)
 
-		var still []int
-		off := 0
+		pending = reassemble(res.Received, data, got, pending, opt.BlockBytes)
 		for _, id := range pending {
-			want := block(id)
-			chunk := got[off : off+len(want)]
-			off += len(want)
-			if blockSum(chunk) == blockSum(want) {
-				copy(res.Received[id*opt.BlockBytes:], chunk)
-			} else {
-				still = append(still, id)
-				failedOnce[id] = true
-			}
+			failedOnce[id] = true
 		}
-		pending = still
 	}
 	res.Retransmitted = len(failedOnce)
 	res.Exact = len(pending) == 0 && bytes.Equal(res.Received, data)
@@ -128,6 +107,53 @@ func SendReliable(cfg Config, data []byte, opt ReliableOptions) (*ReliableResult
 		res.GoodputKBps = float64(len(data)) / 1024 / secs
 	}
 	return res, nil
+}
+
+// blockAt returns block id of data under blockBytes-sized framing (the
+// final block may be short).
+func blockAt(data []byte, id, blockBytes int) []byte {
+	lo := id * blockBytes
+	hi := lo + blockBytes
+	if hi > len(data) {
+		hi = len(data)
+	}
+	return data[lo:hi]
+}
+
+// roundFrame concatenates the pending blocks of data in order — the
+// payload one ARQ round transmits.
+func roundFrame(data []byte, pending []int, blockBytes int) []byte {
+	buf := make([]byte, 0, len(pending)*blockBytes)
+	for _, id := range pending {
+		buf = append(buf, blockAt(data, id, blockBytes)...)
+	}
+	return buf
+}
+
+// reassemble consumes one round's decoded frame: each pending block's chunk
+// of got is verified against the authoritative data's checksum, verified
+// chunks are copied into dst at the block's home offset, and the ids still
+// failing come back as the next round's pending list. A frame truncated
+// below the pending layout (which a conforming channel never produces)
+// leaves the unreachable blocks pending rather than reading out of bounds.
+func reassemble(dst, data, got []byte, pending []int, blockBytes int) []int {
+	var still []int
+	off := 0
+	for i, id := range pending {
+		want := blockAt(data, id, blockBytes)
+		if off+len(want) > len(got) {
+			still = append(still, pending[i:]...)
+			break
+		}
+		chunk := got[off : off+len(want)]
+		off += len(want)
+		if blockSum(chunk) == blockSum(want) {
+			copy(dst[id*blockBytes:], chunk)
+		} else {
+			still = append(still, id)
+		}
+	}
+	return still
 }
 
 // blockSum is the per-block checksum (FNV-1a 32); collisions at 2^-32 are
