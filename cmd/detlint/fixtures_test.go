@@ -1,0 +1,47 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestEveryAnalyzerHasFixtures pins the fixture discipline: each analyzer
+// registered in the detlint suite must ship analysistest want-comment
+// fixtures for the positive (bad), negative (good), and suppression
+// (allow) cases. A new analyzer added to the `analyzers` slice without
+// fixtures fails here before it can rot.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range analyzers {
+		for _, kind := range []string{"bad", "good", "allow"} {
+			dir := filepath.Join("..", "..", "internal", "analysis", a.Name, "testdata", kind)
+			files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(files) == 0 {
+				t.Errorf("analyzer %s has no %s fixtures: expected at least one .go file in %s", a.Name, kind, dir)
+			}
+		}
+	}
+}
+
+// TestAnalyzerNamesAreIdentifiers guards the suppression grammar: allow
+// comments split analyzer names on commas and spaces, so a registered
+// name containing either would be unaddressable.
+func TestAnalyzerNamesAreIdentifiers(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Name == "" {
+			t.Fatal("analyzer with empty name")
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		for _, r := range a.Name {
+			if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9') {
+				t.Errorf("analyzer name %q is not a lowercase identifier", a.Name)
+			}
+		}
+	}
+}

@@ -1,14 +1,18 @@
 // Command detlint runs the repository's determinism linters
-// (internal/analysis/...): seedderive, wallclock, mapiter, and
-// floatorder. Together they enforce, at vet time, the invariant the
-// golden conformance suite checks after the fact — that every experiment
-// result is a pure function of its seed, bit-identical at any worker
-// count.
+// (internal/analysis/...): seedderive, wallclock, mapiter, floatorder,
+// lifecycle, hotpathalloc, and sharedstate. Together they enforce, at vet
+// time, the invariants the golden conformance suite and the runtime
+// audits (statetest reflection, AllocsPerRun, -race) check after the fact
+// — that every experiment result is a pure function of its seed,
+// bit-identical at any worker count, produced by an allocation-free hot
+// path over fully-covered lifecycle state.
 //
 // Standalone (loads and type-checks packages itself, offline):
 //
 //	detlint ./...
 //	detlint -list
+//	detlint -json ./...           # one JSON diagnostic per line
+//	detlint -unused-allows ./...  # also fail on stale suppressions
 //
 // As a go vet tool (speaks vet's unit-checking protocol):
 //
@@ -19,10 +23,12 @@
 //
 //	//detlint:allow <analyzer> -- <reason>
 //
-// — the reason is mandatory; a reasonless allow is itself a finding.
+// — the reason is mandatory; a reasonless allow is itself a finding, and
+// -unused-allows reports every allow that no longer suppresses anything.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +38,11 @@ import (
 
 	"streamline/internal/analysis"
 	"streamline/internal/analysis/floatorder"
+	"streamline/internal/analysis/hotpathalloc"
+	"streamline/internal/analysis/lifecycle"
 	"streamline/internal/analysis/mapiter"
 	"streamline/internal/analysis/seedderive"
+	"streamline/internal/analysis/sharedstate"
 	"streamline/internal/analysis/wallclock"
 )
 
@@ -43,6 +52,19 @@ var analyzers = []*analysis.Analyzer{
 	wallclock.Analyzer,
 	mapiter.Analyzer,
 	floatorder.Analyzer,
+	lifecycle.Analyzer,
+	hotpathalloc.Analyzer,
+	sharedstate.Analyzer,
+}
+
+// jsonDiagnostic is the -json wire form: one object per line, stable
+// field set, for problem matchers and scripted consumers.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -65,8 +87,10 @@ func main() {
 	}
 
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line instead of file:line:col text")
+	unusedAllows := flag.Bool("unused-allows", false, "also report //detlint:allow comments that suppress no diagnostic (stale-suppression audit)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [packages]\n       go vet -vettool=$(which detlint) [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-json] [-unused-allows] [packages]\n       go vet -vettool=$(which detlint) [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -87,15 +111,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "detlint:", err)
 		os.Exit(2)
 	}
+	emit := func(d analysis.Diagnostic) {
+		if *jsonOut {
+			b, err := json.Marshal(jsonDiagnostic{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Column:   d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "detlint:", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(b))
+			return
+		}
+		fmt.Println(d)
+	}
 	findings := 0
 	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
+		diags, unused, err := analysis.RunAll(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "detlint:", err)
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Println(d)
+			emit(d)
+			findings++
+		}
+		if !*unusedAllows {
+			continue
+		}
+		for _, u := range unused {
+			msg := fmt.Sprintf("unused //detlint:allow %s (%s): no %s diagnostic here anymore; delete the stale suppression", u.Name, u.Reason, u.Name)
+			if !u.Known {
+				msg = fmt.Sprintf("//detlint:allow names unknown analyzer %q (registered: see detlint -list); fix the name or delete the comment", u.Name)
+			}
+			emit(analysis.Diagnostic{
+				Analyzer: "detlint",
+				Pos:      u.Pos,
+				Position: u.Position,
+				Message:  msg,
+			})
 			findings++
 		}
 	}

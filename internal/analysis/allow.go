@@ -19,6 +19,11 @@ import (
 // suppression covers diagnostics on its own line (trailing comment) and on
 // the line immediately below (standalone comment above the offending
 // statement).
+//
+// Allows are also audited for staleness: RunAll reports every well-formed
+// allow that suppressed no diagnostic in the run, so dead suppressions
+// (left behind after the offending code moved or was fixed) surface in CI
+// via `detlint -unused-allows` instead of silently weakening the linters.
 
 const allowPrefix = "detlint:allow"
 
@@ -29,16 +34,34 @@ type allowKey struct {
 	analyzer string
 }
 
-type allowSet map[allowKey]bool
+// allowRecord is one analyzer name of one //detlint:allow comment, with
+// usage tracking for the stale-suppression audit.
+type allowRecord struct {
+	pos    token.Pos
+	name   string
+	reason string
+	used   bool
+}
 
+type allowSet map[allowKey]*allowRecord
+
+// covers reports whether d is suppressed, marking the matching allow used.
 func (s allowSet) covers(d Diagnostic) bool {
-	return s[allowKey{d.Position.Filename, d.Position.Line, d.Analyzer}]
+	rec := s[allowKey{d.Position.Filename, d.Position.Line, d.Analyzer}]
+	if rec == nil {
+		return false
+	}
+	rec.used = true
+	return true
 }
 
 // collectAllows gathers every well-formed //detlint:allow comment in files
-// and returns the suppression set plus diagnostics for malformed ones.
-func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+// and returns the suppression set, the records backing it (one per comment
+// per named analyzer, in source order), and diagnostics for malformed
+// comments.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []*allowRecord, []Diagnostic) {
 	set := allowSet{}
+	var recs []*allowRecord
 	var bad []Diagnostic
 	report := func(pos token.Pos, msg string) {
 		bad = append(bad, Diagnostic{
@@ -67,11 +90,13 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 				}
 				p := fset.Position(c.Slash)
 				for _, name := range fields {
-					set[allowKey{p.Filename, p.Line, name}] = true
-					set[allowKey{p.Filename, p.Line + 1, name}] = true
+					rec := &allowRecord{pos: c.Slash, name: name, reason: strings.TrimSpace(reason)}
+					recs = append(recs, rec)
+					set[allowKey{p.Filename, p.Line, name}] = rec
+					set[allowKey{p.Filename, p.Line + 1, name}] = rec
 				}
 			}
 		}
 	}
-	return set, bad
+	return set, recs, bad
 }

@@ -27,9 +27,12 @@ func f() {
 	_ = 2
 }
 `)
-	set, bad := collectAllows(fset, files)
+	set, recs, bad := collectAllows(fset, files)
 	if len(bad) != 0 {
 		t.Fatalf("unexpected malformed-allow diagnostics: %v", bad)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want 3 allow records (one per named analyzer), got %d", len(recs))
 	}
 	covered := []Diagnostic{
 		{Analyzer: "wallclock", Position: token.Position{Filename: "allow.go", Line: 4}},
@@ -61,7 +64,7 @@ func f() {
 	_ = 2 //detlint:allow -- reason but no analyzer
 }
 `)
-	set, bad := collectAllows(fset, files)
+	set, _, bad := collectAllows(fset, files)
 	if len(set) != 0 {
 		t.Fatalf("malformed allows must suppress nothing, got %d entries", len(set))
 	}
@@ -75,5 +78,36 @@ func f() {
 	}
 	if !strings.Contains(bad[0].Message, "reason") {
 		t.Errorf("unexpected message: %s", bad[0].Message)
+	}
+}
+
+func TestAllowUsageTracking(t *testing.T) {
+	fset, files := parseSrc(t, `package p
+
+func f() {
+	_ = 1 //detlint:allow wallclock -- suppresses a finding below
+	_ = 2 //detlint:allow mapiter -- stale, nothing to suppress
+}
+`)
+	set, recs, bad := collectAllows(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed-allow diagnostics: %v", bad)
+	}
+	if !set.covers(Diagnostic{Analyzer: "wallclock", Position: token.Position{Filename: "allow.go", Line: 4}}) {
+		t.Fatal("expected wallclock@4 suppressed")
+	}
+	var used, unused []string
+	for _, r := range recs {
+		if r.used {
+			used = append(used, r.name)
+		} else {
+			unused = append(unused, r.name)
+		}
+	}
+	if len(used) != 1 || used[0] != "wallclock" {
+		t.Errorf("used allows = %v, want [wallclock]", used)
+	}
+	if len(unused) != 1 || unused[0] != "mapiter" {
+		t.Errorf("unused allows = %v, want [mapiter]", unused)
 	}
 }

@@ -84,11 +84,38 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
 }
 
+// UnusedAllow describes one `//detlint:allow` suppression that suppressed
+// no diagnostic in a run — a stale allow left behind after the offending
+// code was fixed or moved, or one naming an analyzer that is not
+// registered at all.
+type UnusedAllow struct {
+	// Pos is the allow comment's position in the pass's FileSet.
+	Pos token.Pos
+	// Position is Pos resolved to file/line/column.
+	Position token.Position
+	// Name is the analyzer the allow names.
+	Name string
+	// Reason is the allow's stated reason.
+	Reason string
+	// Known reports whether Name matches a registered analyzer; a false
+	// value means the allow could never suppress anything (typo or
+	// removed analyzer).
+	Known bool
+}
+
 // Run applies each analyzer to the package and returns the surviving
 // diagnostics — findings suppressed by a well-formed `//detlint:allow`
 // comment are dropped, and malformed suppression comments are themselves
 // reported (analyzer name "detlint"). Diagnostics are sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAll(pkg, analyzers)
+	return diags, err
+}
+
+// RunAll is Run plus the stale-suppression audit: it additionally returns
+// every well-formed allow comment that suppressed no diagnostic, in source
+// order, for `detlint -unused-allows`.
+func RunAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedAllow, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -100,10 +127,10 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
-	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	allows, recs, bad := collectAllows(pkg.Fset, pkg.Files)
 	kept := diags[:0]
 	for _, d := range diags {
 		if !allows.covers(d) {
@@ -124,5 +151,21 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return kept[i].Analyzer < kept[j].Analyzer
 	})
-	return kept, nil
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var unused []UnusedAllow
+	for _, rec := range recs {
+		if !rec.used {
+			unused = append(unused, UnusedAllow{
+				Pos:      rec.pos,
+				Position: pkg.Fset.Position(rec.pos),
+				Name:     rec.name,
+				Reason:   rec.reason,
+				Known:    known[rec.name],
+			})
+		}
+	}
+	return kept, unused, nil
 }

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"streamline/internal/analysis/analysistest"
+	"streamline/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	analysistest.Run(t, hotpathalloc.Analyzer, "bad", "good", "allow")
+}

@@ -1,0 +1,34 @@
+// Fixture: legitimate hot-path findings suppressed by //detlint:allow.
+package fixture
+
+type ring struct {
+	pending []uint64
+	n       int
+}
+
+// push appends into a buffer whose capacity is fixed at construction; the
+// append can never grow it, but the analyzer cannot see capacities, so the
+// site carries an allow.
+//
+//detlint:hotpath
+func (r *ring) push(v uint64) {
+	//detlint:allow hotpathalloc -- pending is preallocated to its maximum depth at construction; append never grows it
+	r.pending = append(r.pending, v)
+	r.n++
+}
+
+// drainSlow is hot but calls a deliberately-cold helper on its rare
+// overflow path; the call site is annotated rather than dragging the slow
+// helper into the hot set.
+//
+//detlint:hotpath
+func (r *ring) drainSlow() {
+	if r.n > cap(r.pending) {
+		r.spill() //detlint:allow hotpathalloc -- overflow path, taken at most once per run
+	}
+	r.n = 0
+}
+
+func (r *ring) spill() {
+	r.pending = append(r.pending[:0:0], r.pending...)
+}

@@ -1,0 +1,76 @@
+// Fixture: allocations inside //detlint:hotpath functions.
+package fixture
+
+import "fmt"
+
+type sim struct {
+	buf  []uint64
+	hits uint64
+}
+
+//detlint:hotpath
+func (s *sim) makeInLoop(n int) {
+	tmp := make([]uint64, n) // want `make in hotpath function makeInLoop allocates`
+	_ = tmp
+	p := new(sim) // want `new in hotpath function makeInLoop allocates`
+	_ = p
+}
+
+//detlint:hotpath
+func (s *sim) growAppend(v uint64) {
+	s.buf = append(s.buf, v) // want `append in hotpath function growAppend may grow its backing array`
+}
+
+//detlint:hotpath
+func (s *sim) closureCapture() {
+	f := func() { s.hits++ } // want `function literal in hotpath function closureCapture allocates a closure`
+	f()
+}
+
+//detlint:hotpath
+func (s *sim) compositeEscapes() *sim {
+	lines := []uint64{1, 2, 3} // want `slice literal in hotpath function compositeEscapes heap-allocates`
+	_ = lines
+	return &sim{hits: s.hits} // want `&composite literal in hotpath function compositeEscapes escapes`
+}
+
+//detlint:hotpath
+func (s *sim) callsCold(v uint64) {
+	s.coldHelper(v) // want `hotpath function callsCold calls coldHelper, which is not annotated`
+}
+
+// coldHelper is reachable from a hot function but not annotated.
+func (s *sim) coldHelper(v uint64) {
+	s.hits += v
+}
+
+//detlint:hotpath
+func (s *sim) boxesArg(v uint64) {
+	sink(v) // want `argument boxes uint64 into an interface parameter in hotpath function boxesArg` `hotpath function boxesArg calls sink, which is not annotated`
+}
+
+func sink(v any) { _ = v }
+
+//detlint:hotpath
+func (s *sim) formats() string {
+	return fmt.Sprintf("%d", s.hits) // want `hotpath function formats calls fmt\.Sprintf, which may allocate` `argument boxes uint64 into an interface parameter`
+}
+
+//detlint:hotpath
+func (s *sim) converts(key string) []byte {
+	return []byte(key) // want `string/\[\]byte conversion in hotpath function converts copies its operand`
+}
+
+//detlint:hotpath
+func (s *sim) spawns() {
+	go s.coldHelper(1)    // want `go statement in hotpath function spawns allocates a goroutine`
+	defer s.coldHelper(2) // want `defer in hotpath function spawns allocates a defer record`
+	var iface interface{ M() }
+
+	iface = impl{} // want `assignment boxes .*impl into an interface in hotpath function spawns`
+	_ = iface
+}
+
+type impl struct{}
+
+func (impl) M() {}

@@ -1,0 +1,84 @@
+// Fixture: allocation-free hot-path idioms the analyzer must not flag.
+package fixture
+
+import "math/bits"
+
+type sim struct {
+	buf   []uint64
+	tags  []uint32
+	hits  uint64
+	stats struct{ misses uint64 }
+}
+
+// result is a value struct; returning it by value does not allocate.
+type result struct {
+	hit bool
+	way int32
+}
+
+//detlint:hotpath
+func (s *sim) access(line uint64) result {
+	idx := int(line) & (len(s.tags) - 1)
+	if s.tags[idx] == uint32(line>>32) {
+		s.hits++
+		return result{hit: true, way: int32(idx)}
+	}
+	s.stats.misses++
+	return s.fill(line)
+}
+
+// fill is annotated, so access may call it.
+//
+//detlint:hotpath
+func (s *sim) fill(line uint64) result {
+	idx := bits.TrailingZeros64(line | 1)
+	s.tags[idx&(len(s.tags)-1)] = uint32(line >> 32)
+	return result{way: int32(idx)}
+}
+
+//detlint:hotpath
+func (s *sim) resliceAppend(vals []uint64) {
+	// The blessed reuse idiom: append into a resliced preallocated buffer
+	// never grows it beyond the capacity set at construction.
+	out := s.buf[:0]
+	for _, v := range vals {
+		out = append(out[:], v)
+	}
+	s.buf = out
+}
+
+//detlint:hotpath
+func (s *sim) guarded(line uint64) {
+	idx := int(line) & (len(s.tags) - 1)
+	if s.tags[idx] == 0 && line != 0 {
+		// Failure path: the panic call and its arguments are exempt, so a
+		// corruption check may format its message.
+		panic(describe("empty tag for nonzero line", line))
+	}
+	s.hits++
+}
+
+// describe is only reached from panic arguments; it may allocate.
+func describe(msg string, line uint64) string {
+	return msg + ": " + string(rune(line&0x7f))
+}
+
+//detlint:hotpath
+func (s *sim) terminalGuard(line uint64) {
+	if line == 0 {
+		corrupt(line)
+	}
+	s.hits++
+}
+
+// corrupt always panics, so calls to it are failure paths.
+func corrupt(line uint64) {
+	panic(describe("corrupt line", line))
+}
+
+// coldCaller is NOT annotated: everything inside it is unconstrained.
+func (s *sim) coldCaller() []uint64 {
+	snapshot := make([]uint64, len(s.buf))
+	copy(snapshot, s.buf)
+	return snapshot
+}

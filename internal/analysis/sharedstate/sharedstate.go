@@ -1,0 +1,326 @@
+// Package sharedstate flags unsynchronized writes to captured variables
+// inside goroutines.
+//
+// The repository's parallelism contract (DESIGN.md "Parallel execution")
+// is that worker count never changes results: the runner fans experiments
+// out to N goroutines, and every shared result is either index-assigned
+// into a preallocated slice (each goroutine owns its slot) or mutated
+// under a mutex. TestHookDoesNotInfluenceResults and the golden suite
+// verify the property dynamically; this analyzer is the static complement
+// — it inspects every `go func() {...}` literal and flags writes to
+// variables captured from the enclosing function that are neither
+// index-assigned nor inside a Lock/Unlock window.
+//
+// Flagged inside a go-statement function literal:
+//
+//   - `captured = append(captured, ...)` — append into a captured slice
+//     is order-sensitive aggregation even under a mutex: the element
+//     order depends on goroutine scheduling. Assign by index instead
+//     (results[i] = r), which is also what makes the aggregation
+//     lock-free.
+//   - plain, compound, and ++/-- writes to captured variables (including
+//     selector paths rooted at captured variables) outside a mutex
+//     window — a data race, detectable by `go test -race` only when the
+//     schedule cooperates; here it is a lint failure always.
+//   - map index writes to captured maps outside a mutex window —
+//     concurrent map writes fault at runtime.
+//
+// Not flagged: index/element assignment into captured slices
+// (`results[i] = r` — the blessed pattern), any write under a held
+// mutex (the analyzer tracks Lock/RLock/Unlock/RUnlock statement order,
+// including `defer mu.Unlock()`), reads of captured state, writes to the
+// goroutine's own locals, and channel operations (the channel itself is
+// the sync boundary).
+//
+// The analysis is intra-literal and syntactic: a helper method called
+// from the goroutine is not walked (its own package is audited
+// separately), and a mutex held around a call boundary is honored only
+// within the literal's body.
+package sharedstate
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"streamline/internal/analysis"
+)
+
+// Analyzer is the shared-state linter.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharedstate",
+	Doc:  "goroutines must not write captured variables without a mutex, and must aggregate results by index, not append",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true // `go method()` — audited where the method lives
+			}
+			checkGoroutine(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutine walks one goroutine body tracking mutex depth in
+// statement order and reporting unsynchronized writes to captured
+// variables.
+func checkGoroutine(pass *analysis.Pass, lit *ast.FuncLit) {
+	w := &walker{pass: pass, lit: lit}
+	w.block(lit.Body, 0)
+}
+
+// walker carries one goroutine's analysis state.
+type walker struct {
+	pass *analysis.Pass
+	lit  *ast.FuncLit
+}
+
+// captured reports whether obj is a variable declared outside the
+// goroutine literal (and outside any nested literal position): writes to
+// it are shared-state writes.
+func (w *walker) captured(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	// Package-level variables are shared too; everything declared within
+	// the literal (params and locals) is goroutine-private.
+	return !(w.lit.Pos() <= obj.Pos() && obj.Pos() < w.lit.End())
+}
+
+// rootObj resolves the base variable of an lvalue expression: x, x.f.g,
+// x[i], *x all root at x.
+func (w *walker) rootObj(expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			if id, ok := expr.(*ast.Ident); ok {
+				if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+					return obj
+				}
+				return w.pass.TypesInfo.Defs[id]
+			}
+			return nil
+		}
+	}
+}
+
+// block walks stmts in order, threading the mutex depth through
+// Lock/Unlock calls, and returns the depth at the end of the block.
+func (w *walker) block(b *ast.BlockStmt, depth int) int {
+	for _, s := range b.List {
+		depth = w.stmt(s, depth)
+	}
+	return depth
+}
+
+// stmt processes one statement at the given mutex depth and returns the
+// depth after it.
+func (w *walker) stmt(s ast.Stmt, depth int) int {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if d, ok := w.lockDelta(call); ok {
+				depth += d
+				if depth < 0 {
+					depth = 0
+				}
+				return depth
+			}
+		}
+		w.exprWrites(st.X, depth)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` releases at return, not here: the depth is
+		// unchanged for the rest of the body. Other defers: check writes.
+		if _, ok := w.lockDelta(st.Call); !ok {
+			w.exprWrites(st.Call, depth)
+		}
+	case *ast.AssignStmt:
+		w.assign(st, depth)
+	case *ast.IncDecStmt:
+		w.write(st.X, st.X.Pos(), depth, "")
+	case *ast.BlockStmt:
+		depth = w.block(st, depth)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			depth = w.stmt(st.Init, depth)
+		}
+		w.exprWrites(st.Cond, depth)
+		w.block(st.Body, depth)
+		if st.Else != nil {
+			w.stmt(st.Else, depth)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			depth = w.stmt(st.Init, depth)
+		}
+		if st.Cond != nil {
+			w.exprWrites(st.Cond, depth)
+		}
+		w.block(st.Body, depth)
+		if st.Post != nil {
+			w.stmt(st.Post, depth)
+		}
+	case *ast.RangeStmt:
+		w.block(st.Body, depth)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			depth = w.stmt(st.Init, depth)
+		}
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				for _, cs := range c.Body {
+					w.stmt(cs, depth)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				for _, cs := range c.Body {
+					w.stmt(cs, depth)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				for _, cs := range c.Body {
+					w.stmt(cs, depth)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		// A nested goroutine is its own unit; run() visits it separately.
+	case *ast.LabeledStmt:
+		depth = w.stmt(st.Stmt, depth)
+	case *ast.DeclStmt, *ast.ReturnStmt, *ast.SendStmt, *ast.BranchStmt,
+		*ast.EmptyStmt:
+		// Channel sends are synchronization; returns/branches carry no
+		// writes to captured lvalues.
+	}
+	return depth
+}
+
+// lockDelta classifies call as a mutex transition: +1 for Lock/RLock,
+// -1 for Unlock/RUnlock, reported via ok.
+func (w *walker) lockDelta(call *ast.CallExpr) (int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	fn, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return 1, true
+	case "Unlock", "RUnlock":
+		return -1, true
+	}
+	return 0, false
+}
+
+// assign checks one assignment statement's left-hand sides.
+func (w *walker) assign(st *ast.AssignStmt, depth int) {
+	if st.Tok == token.DEFINE {
+		return // := declares goroutine-locals
+	}
+	for i, lhs := range st.Lhs {
+		// The blessed aggregation pattern: element assignment into a
+		// captured slice or array — each goroutine owns its index.
+		if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			if t := w.pass.TypesInfo.Types[idx.X].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array, *types.Pointer:
+					continue
+				case *types.Map:
+					w.write(lhs, lhs.Pos(), depth, "map write")
+					continue
+				}
+			}
+		}
+		// append into a captured slice is order-sensitive regardless of
+		// locking.
+		if i < len(st.Rhs) {
+			if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" &&
+						len(call.Args) > 0 && w.captured(w.rootObj(call.Args[0])) && w.captured(w.rootObj(lhs)) {
+						w.report(lhs.Pos(), w.rootObj(lhs), "append aggregation")
+						continue
+					}
+				}
+			}
+		}
+		w.write(lhs, lhs.Pos(), depth, "")
+	}
+}
+
+// write reports a write to lvalue if its root is captured and no mutex is
+// held.
+func (w *walker) write(lvalue ast.Expr, pos token.Pos, depth int, kind string) {
+	if depth > 0 {
+		return
+	}
+	obj := w.rootObj(lvalue)
+	if !w.captured(obj) {
+		return
+	}
+	w.report(pos, obj, kind)
+}
+
+// report emits the diagnostic for one unsynchronized captured write.
+func (w *walker) report(pos token.Pos, obj types.Object, kind string) {
+	name := "captured variable"
+	if obj != nil {
+		name = obj.Name()
+	}
+	switch kind {
+	case "append aggregation":
+		w.pass.Reportf(pos, "goroutine appends to captured %s: element order depends on scheduling even under a lock; preallocate and assign by index (%s[i] = v)", name, name)
+	case "map write":
+		w.pass.Reportf(pos, "goroutine writes captured map %s without holding a mutex: concurrent map writes fault; guard with Lock/Unlock or aggregate per-goroutine", name)
+	default:
+		w.pass.Reportf(pos, "goroutine writes captured variable %s without holding a mutex: a data race the race detector only sees on cooperative schedules; guard with Lock/Unlock or make it goroutine-local", name)
+	}
+}
+
+// exprWrites scans an expression for embedded writes: only function
+// literals can contain statements, and nested literals run on this
+// goroutine (they are closures called inline or passed away), so their
+// bodies are walked at the current depth.
+func (w *walker) exprWrites(expr ast.Expr, depth int) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.block(fl.Body, depth)
+			return false
+		}
+		return true
+	})
+}

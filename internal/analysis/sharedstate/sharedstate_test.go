@@ -1,0 +1,12 @@
+package sharedstate_test
+
+import (
+	"testing"
+
+	"streamline/internal/analysis/analysistest"
+	"streamline/internal/analysis/sharedstate"
+)
+
+func TestSharedState(t *testing.T) {
+	analysistest.Run(t, sharedstate.Analyzer, "bad", "good", "allow")
+}

@@ -1,0 +1,22 @@
+// Fixture: legitimate sharedstate findings suppressed by //detlint:allow.
+package fixture
+
+import "sync"
+
+// progressTicker races a monotonic progress counter on purpose: the value
+// is display-only, never reaches results, and an occasional lost update is
+// acceptable. The write carries an allow naming the reason.
+func progressTicker(jobs []int) {
+	var wg sync.WaitGroup
+	shown := 0
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			//detlint:allow sharedstate -- display-only progress counter; lost updates acceptable, value never reaches results
+			shown++
+		}()
+	}
+	wg.Wait()
+	_ = shown
+}

@@ -1,0 +1,73 @@
+// Fixture: unsynchronized captured-variable writes in goroutines.
+package fixture
+
+import "sync"
+
+func unsyncCounter() int {
+	var wg sync.WaitGroup
+	count := 0
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++ // want `goroutine writes captured variable count without holding a mutex`
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+func appendAggregation(jobs []int) []int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var out []int
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, j*2) // want `goroutine appends to captured out: element order depends on scheduling even under a lock`
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func mapWrite(jobs []int) map[int]int {
+	var wg sync.WaitGroup
+	res := map[int]int{}
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res[j] = j * j // want `goroutine writes captured map res without holding a mutex`
+		}()
+	}
+	wg.Wait()
+	return res
+}
+
+func unlockedWindow() {
+	var mu sync.Mutex
+	total := 0
+	go func() {
+		mu.Lock()
+		total += 1
+		mu.Unlock()
+		total += 2 // want `goroutine writes captured variable total without holding a mutex`
+	}()
+	_ = total
+}
+
+type stats struct {
+	hits uint64
+}
+
+func selectorWrite(s *stats) {
+	go func() {
+		s.hits = 1 // want `goroutine writes captured variable s without holding a mutex`
+	}()
+}

@@ -1,0 +1,84 @@
+// Fixture: correctly synchronized worker patterns the analyzer must not
+// flag — these mirror internal/runner's Execute.
+package fixture
+
+import "sync"
+
+// indexAssigned is the blessed aggregation: each goroutine owns its slot,
+// so order independence is structural and no lock is needed.
+func indexAssigned(jobs []int) []int {
+	var wg sync.WaitGroup
+	results := make([]int, len(jobs))
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = j * 2
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// mutexGuarded holds the lock across every captured write.
+func mutexGuarded(jobs []int) (int, bool) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	failed := false
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			done++
+			if done < 0 {
+				failed = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return done, failed
+}
+
+// localsOnly writes only goroutine-local state and sends the result over
+// a channel — the channel is the synchronization boundary.
+func localsOnly(jobs []int) int {
+	ch := make(chan int, len(jobs))
+	for _, j := range jobs {
+		j := j
+		go func() {
+			acc := 0
+			for k := 0; k < j; k++ {
+				acc += k
+			}
+			ch <- acc
+		}()
+	}
+	total := 0
+	for range jobs {
+		total += <-ch
+	}
+	return total
+}
+
+// guardedMap locks around the map write.
+func guardedMap(jobs []int) map[int]int {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	res := map[int]int{}
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			res[j] = j * j
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res
+}

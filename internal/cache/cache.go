@@ -79,16 +79,16 @@ const (
 
 // Cache is one level of a set-associative cache. Create with New.
 type Cache struct {
-	sets     int
-	ways     int
-	setMask  uint64
-	tags     []uint32 // flat [sets*ways] truncated line numbers; invalidTag marks an empty way
-	mru      []int32  // per-set last-hit way hint (always in [0,ways))
-	setOcc   []uint16 // per-set valid-line count; ==ways means the fill scan can be skipped
-	occupied int      // running count of valid lines
-	kind     polKind
-	rrip     *RRIP     // non-nil iff kind == polRRIP
-	plru     *TreePLRU // non-nil iff kind == polPLRU
+	sets     int       //detlint:lifecycle-skip geometry fixed at construction, identical across the lifecycle
+	ways     int       //detlint:lifecycle-skip geometry fixed at construction, identical across the lifecycle
+	setMask  uint64    //detlint:lifecycle-skip geometry fixed at construction, identical across the lifecycle
+	tags     []uint32  // flat [sets*ways] truncated line numbers; invalidTag marks an empty way
+	mru      []int32   // per-set last-hit way hint (always in [0,ways))
+	setOcc   []uint16  // per-set valid-line count; ==ways means the fill scan can be skipped
+	occupied int       // running count of valid lines
+	kind     polKind   //detlint:lifecycle-skip devirtualization tag derived from pol's concrete type, fixed at construction
+	rrip     *RRIP     //detlint:lifecycle-skip devirtualization alias of pol (non-nil iff kind == polRRIP); reset/copied through pol
+	plru     *TreePLRU //detlint:lifecycle-skip devirtualization alias of pol (non-nil iff kind == polPLRU); reset/copied through pol
 	pol      Policy
 	// quota, when non-nil, tracks per-domain way ownership and budgets
 	// (CacheBar-style; see quota.go). All quota bookkeeping hangs off this
@@ -142,12 +142,16 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) Policy() Policy { return c.pol }
 
 // SetOf returns the set index line l maps to.
+//
+//detlint:hotpath
 func (c *Cache) SetOf(l mem.Line) int { return int(uint64(l) & c.setMask) }
 
 // find locates l in the set starting at base, trying the set's last-hit
 // way first. The hint is only a lookup accelerator: a stale hint misses the
 // comparison (an empty way holds invalidTag, which equals no real line)
 // and the full scan below gives the identical answer.
+//
+//detlint:hotpath
 func (c *Cache) find(set, base int, l mem.Line) int {
 	tag := uint32(l)
 	tags := c.tags[base : base+c.ways]
@@ -170,6 +174,8 @@ func (c *Cache) find(set, base int, l mem.Line) int {
 //
 // HintHit reports whether l is the line its set's last-hit-way hint points
 // at — the case Access serves without scanning — with no side effects.
+//
+//detlint:hotpath
 func (c *Cache) HintHit(l mem.Line) bool {
 	set := int(uint64(l) & c.setMask)
 	return c.tags[set*c.ways+int(c.mru[set])] == uint32(l)
@@ -178,6 +184,8 @@ func (c *Cache) HintHit(l mem.Line) bool {
 // OnHintHit applies the hit bookkeeping Access would perform for a line
 // HintHit just reported present (hit count plus replacement touch). Calling
 // it without a true HintHit(l) corrupts the replacement state.
+//
+//detlint:hotpath
 func (c *Cache) OnHintHit(l mem.Line) {
 	set := int(uint64(l) & c.setMask)
 	w := int(c.mru[set])
@@ -194,6 +202,8 @@ func (c *Cache) OnHintHit(l mem.Line) {
 
 // Probe reports whether l is present, with no side effects on replacement
 // state or statistics.
+//
+//detlint:hotpath
 func (c *Cache) Probe(l mem.Line) bool {
 	set := c.SetOf(l)
 	return c.find(set, set*c.ways, l) >= 0
@@ -202,6 +212,8 @@ func (c *Cache) Probe(l mem.Line) bool {
 // Access looks up l, updating replacement state. On a miss the line is
 // installed, evicting a victim if the set is full. The returned Result
 // reports the hit/miss outcome and any eviction.
+//
+//detlint:hotpath
 func (c *Cache) Access(l mem.Line) Result {
 	set := c.SetOf(l)
 	base := set * c.ways
@@ -242,6 +254,8 @@ func (c *Cache) Access(l mem.Line) Result {
 // InstallPrefetch inserts l as a prefetched line (counted separately, and
 // policies may choose a different insertion age). A present line is treated
 // as a policy hit-less no-op.
+//
+//detlint:hotpath
 func (c *Cache) InstallPrefetch(l mem.Line) Result {
 	set := c.SetOf(l)
 	base := set * c.ways
@@ -261,6 +275,8 @@ func (c *Cache) InstallPrefetch(l mem.Line) Result {
 // fill inserts l into set, choosing a victim if needed. Full sets — the
 // steady state of every long-running experiment — skip the empty-way scan
 // via the per-set occupancy count.
+//
+//detlint:hotpath
 func (c *Cache) fill(set, base int, l mem.Line, prefetch bool) Result {
 	if uint64(l) >= uint64(invalidTag) {
 		panic(fmt.Sprintf("cache: line %#x overflows the 32-bit tag store (simulated physical memory is capped at mem.MaxAddrSpace)", uint64(l)))
@@ -292,6 +308,8 @@ func (c *Cache) fill(set, base int, l mem.Line, prefetch bool) Result {
 
 // victim dispatches Policy.Victim without interface overhead for the two
 // hot policies.
+//
+//detlint:hotpath
 func (c *Cache) victim(set int) int {
 	switch c.kind {
 	case polRRIP:
@@ -303,6 +321,7 @@ func (c *Cache) victim(set int) int {
 	}
 }
 
+//detlint:hotpath
 func (c *Cache) insertMeta(set, w int, prefetch bool) {
 	switch c.kind {
 	case polRRIP:
@@ -328,6 +347,8 @@ func (c *Cache) insertMeta(set, w int, prefetch bool) {
 
 // Flush removes l if present (the clflush model) and reports whether it was
 // present.
+//
+//detlint:hotpath
 func (c *Cache) Flush(l mem.Line) bool {
 	c.Stats.Flushes++
 	return c.Invalidate(l)
@@ -335,6 +356,8 @@ func (c *Cache) Flush(l mem.Line) bool {
 
 // Invalidate removes l if present without counting a flush (used for
 // inclusive back-invalidation). Reports whether the line was present.
+//
+//detlint:hotpath
 func (c *Cache) Invalidate(l mem.Line) bool {
 	set := c.SetOf(l)
 	base := set * c.ways

@@ -44,7 +44,7 @@ type PrefetchAware interface {
 // LRU is a true least-recently-used policy (8-bit recency stamps per line,
 // compacted on overflow).
 type LRU struct {
-	ways  int
+	ways  int      //detlint:lifecycle-skip associativity fixed by Attach, identical across the lifecycle
 	stamp []uint32 // flat recency; larger = more recent
 	clock []uint32 // per-set logical clock
 }
@@ -96,7 +96,7 @@ func (p *LRU) OnInvalidate(s, w int) { p.stamp[s*p.ways+w] = 0 }
 // Random evicts a uniformly random way; a classic noise-adding mitigation
 // discussed in the paper's Section 7.
 type Random struct {
-	ways int
+	ways int //detlint:lifecycle-skip associativity fixed by Attach, identical across the lifecycle
 	x    *rng.Xoshiro
 }
 
@@ -130,7 +130,7 @@ func (p *Random) OnInvalidate(int, int) {}
 // line (in rotating order) whose bit is clear, clearing all bits when every
 // line is marked.
 type NRU struct {
-	ways int
+	ways int //detlint:lifecycle-skip associativity fixed by Attach, identical across the lifecycle
 	ref  []bool
 	ptr  []uint16
 }
@@ -192,12 +192,12 @@ func (p *NRU) OnInvalidate(s, w int) { p.ref[s*p.ways+w] = false }
 // filled by running the reference tree walk once per input, so the packed
 // forms are identical-by-construction to the walk.
 type TreePLRU struct {
-	ways   int
-	levels int      // log2(ways): tree depth
+	ways   int      //detlint:lifecycle-skip associativity fixed by Attach, identical across the lifecycle
+	levels int      //detlint:lifecycle-skip log2(ways): derived geometry fixed by Attach
 	bits   []uint32 // one packed tree per set
-	setM   []uint32 // per-way: tree bits touch must set
-	clrM   []uint32 // per-way: tree bits touch must clear
-	vict   []uint8  // packed bits -> victim way (ways <= 16)
+	setM   []uint32 //detlint:lifecycle-skip way->mask table, immutable after Attach; clones share it
+	clrM   []uint32 //detlint:lifecycle-skip way->mask table, immutable after Attach; clones share it
+	vict   []uint8  //detlint:lifecycle-skip packed bits -> victim table, immutable after Attach; clones share it
 }
 
 // NewTreePLRU returns a tree-PLRU policy.
@@ -244,6 +244,8 @@ func (p *TreePLRU) Attach(sets, ways int) {
 
 // walkVictim is the reference traversal: follow the packed tree bits,
 // accumulating the victim way's bits MSB-first (the inverse of touch).
+//
+//detlint:hotpath
 func (p *TreePLRU) walkVictim(tree uint32) int {
 	node, w := 0, 0
 	for i := 0; i < p.levels; i++ {
@@ -260,20 +262,28 @@ func (p *TreePLRU) walkVictim(tree uint32) int {
 
 // touch flips tree bits away from way w so the traversal next points
 // elsewhere.
+//
+//detlint:hotpath
 func (p *TreePLRU) touch(s, w int) {
 	p.bits[s] = (p.bits[s] | p.setM[w]) &^ p.clrM[w]
 }
 
 // OnHit implements Policy.
+//
+//detlint:hotpath
 func (p *TreePLRU) OnHit(s, w int) { p.touch(s, w) }
 
 // OnMiss implements Policy.
 func (p *TreePLRU) OnMiss(int) {}
 
 // OnInsert implements Policy.
+//
+//detlint:hotpath
 func (p *TreePLRU) OnInsert(s, w int) { p.touch(s, w) }
 
 // Victim implements Policy.
+//
+//detlint:hotpath
 func (p *TreePLRU) Victim(s int) int {
 	if p.vict != nil {
 		return int(p.vict[p.bits[s]])
@@ -282,6 +292,8 @@ func (p *TreePLRU) Victim(s int) int {
 }
 
 // OnInvalidate implements Policy.
+//
+//detlint:hotpath
 func (p *TreePLRU) OnInvalidate(int, int) {}
 
 // ---------------------------------------------------------------- RRIP
@@ -308,9 +320,9 @@ const (
 // ages, hit-decrement (as reverse engineered on Skylake: hits step the age
 // toward zero), and rotating victim scan.
 type RRIP struct {
-	mode RRIPMode
-	ways int
-	sets int
+	mode RRIPMode //detlint:lifecycle-skip insertion-mode configuration fixed at construction
+	ways int      //detlint:lifecycle-skip associativity fixed by Attach, identical across the lifecycle
+	sets int      //detlint:lifecycle-skip set count fixed by Attach, identical across the lifecycle
 	// agePk packs a set's 2-bit ages into one word (2 bits per way, ways
 	// <= 32 — every modelled machine). One register then holds the whole
 	// set during the victim scan, the aging round is a single masked add
@@ -320,21 +332,21 @@ type RRIP struct {
 	// one cold host cache line from every simulated LLC access. age is
 	// the byte-per-way fallback for wider ablation caches.
 	agePk     []uint64
-	incMask   uint64 // 0b01 in every used field: one aging round
+	incMask   uint64 //detlint:lifecycle-skip 0b01 in every used field: derived from ways at Attach, immutable
 	age       []uint8
 	ptr       []uint16 // per-set scan start; rotation avoids pathological way reuse
 	x         *rng.Xoshiro
-	psel      int // DRRIP selector: positive favours SRRIP
-	pselMax   int
-	hitToZero bool // promote to age 0 on hit instead of decrement
+	psel      int  // DRRIP selector: positive favours SRRIP
+	pselMax   int  //detlint:lifecycle-skip saturation bound derived from sets at Attach, immutable
+	hitToZero bool //detlint:lifecycle-skip hit-promotion configuration fixed at construction
 	// PrefetchDistant inserts prefetched lines at maxAge, making them the
 	// next victims unless demanded (Intel-like).
-	PrefetchDistant bool
+	PrefetchDistant bool //detlint:lifecycle-skip insertion-policy configuration chosen at construction, not runtime state
 	// DistantFrac32 is the per-32 fraction of SRRIP-mode demand fills
 	// inserted at the distant age anyway (0 = pure SRRIP). Real Intel
 	// QLRU variants are not perfectly scan-ordered; a nonzero fraction
 	// reproduces the residual premature-eviction rate the paper measures.
-	DistantFrac32 int
+	DistantFrac32 int //detlint:lifecycle-skip insertion-policy configuration chosen at construction, not runtime state
 }
 
 // NewRRIP returns an RRIP policy in the given mode, seeded for its
@@ -397,6 +409,8 @@ func allAges(ways int, v uint64) uint64 {
 
 // leader classifies a set for DRRIP dueling: 0 = SRRIP leader, 1 = BRRIP
 // leader, -1 = follower. One leader pair per 64 sets.
+//
+//detlint:hotpath
 func (p *RRIP) leader(s int) int {
 	switch s % 64 {
 	case 0:
@@ -409,6 +423,8 @@ func (p *RRIP) leader(s int) int {
 }
 
 // OnHit implements Policy.
+//
+//detlint:hotpath
 func (p *RRIP) OnHit(s, w int) {
 	if p.agePk != nil {
 		sh := uint(2 * w)
@@ -433,6 +449,8 @@ func (p *RRIP) OnHit(s, w int) {
 }
 
 // OnMiss implements Policy: DRRIP leaders steer the PSEL counter.
+//
+//detlint:hotpath
 func (p *RRIP) OnMiss(s int) {
 	if p.mode != DRRIP {
 		return
@@ -450,6 +468,8 @@ func (p *RRIP) OnMiss(s int) {
 }
 
 // insertAge picks the insertion age for a demand fill in set s.
+//
+//detlint:hotpath
 func (p *RRIP) insertAge(s int) uint8 {
 	mode := p.mode
 	if mode == DRRIP {
@@ -480,6 +500,8 @@ func (p *RRIP) insertAge(s int) uint8 {
 }
 
 // setAge writes one line's age in whichever layout is attached.
+//
+//detlint:hotpath
 func (p *RRIP) setAge(s, w int, a uint8) {
 	if p.agePk != nil {
 		sh := uint(2 * w)
@@ -490,9 +512,13 @@ func (p *RRIP) setAge(s, w int, a uint8) {
 }
 
 // OnInsert implements Policy.
+//
+//detlint:hotpath
 func (p *RRIP) OnInsert(s, w int) { p.setAge(s, w, p.insertAge(s)) }
 
 // OnInsertPrefetch implements PrefetchAware.
+//
+//detlint:hotpath
 func (p *RRIP) OnInsertPrefetch(s, w int) {
 	if p.PrefetchDistant {
 		p.setAge(s, w, maxAge)
@@ -504,6 +530,8 @@ func (p *RRIP) OnInsertPrefetch(s, w int) {
 // Victim implements Policy: find an age-3 line scanning from the rotating
 // pointer, incrementing all ages until one exists. The scan wraps with a
 // compare-and-reset rather than a modulo; the visit order is identical.
+//
+//detlint:hotpath
 func (p *RRIP) Victim(s int) int {
 	if p.agePk != nil {
 		// Packed layout: the set's ages live in one register for the whole
@@ -557,9 +585,13 @@ func (p *RRIP) Victim(s int) int {
 }
 
 // OnInvalidate implements Policy.
+//
+//detlint:hotpath
 func (p *RRIP) OnInvalidate(s, w int) { p.setAge(s, w, maxAge) }
 
 // AgeOf exposes a line's current age for tests and diagnostics.
+//
+//detlint:hotpath
 func (p *RRIP) AgeOf(s, w int) uint8 {
 	if p.agePk != nil {
 		return uint8(p.agePk[s] >> (2 * uint(w)) & 3)

@@ -139,6 +139,8 @@ func (c *Cache) DomainOccupancy(set, dom int) int {
 // case: the line was present but the hit was refused, so the caller serves
 // the access at memory latency (the Result then reports a miss on the way
 // that now holds dom's copy).
+//
+//detlint:hotpath
 func (c *Cache) AccessOwned(l mem.Line, dom uint8, copyOnAccess bool) (res Result, denied bool) {
 	q := c.quota
 	if q == nil {
@@ -185,6 +187,8 @@ func (c *Cache) AccessOwned(l mem.Line, dom uint8, copyOnAccess bool) (res Resul
 // present line is a no-op regardless of owner — prefetches never transfer
 // ownership, so a predictable prefetcher cannot launder cross-domain
 // copies.
+//
+//detlint:hotpath
 func (c *Cache) InstallPrefetchOwned(l mem.Line, dom uint8) Result {
 	q := c.quota
 	if q == nil {
@@ -200,6 +204,8 @@ func (c *Cache) InstallPrefetchOwned(l mem.Line, dom uint8) Result {
 }
 
 // missMeta dispatches the policy miss hook (shared by the quota paths).
+//
+//detlint:hotpath
 func (c *Cache) missMeta(set int) {
 	switch c.kind {
 	case polRRIP:
@@ -216,6 +222,8 @@ func (c *Cache) missMeta(set int) {
 // occupancy is untouched, the property that denies Prime+Probe its
 // cross-domain evictions. Otherwise the normal fill runs (empty way or
 // policy-wide victim) and the accounting follows the victim's owner.
+//
+//detlint:hotpath
 func (c *Cache) fillOwned(set, base int, l mem.Line, dom uint8, prefetch bool) Result {
 	if uint64(l) >= uint64(invalidTag) {
 		panic(fmt.Sprintf("cache: line %#x overflows the 32-bit tag store (simulated physical memory is capped at mem.MaxAddrSpace)", uint64(l)))
@@ -256,6 +264,8 @@ func (c *Cache) fillOwned(set, base int, l mem.Line, dom uint8, prefetch bool) R
 // policies fall back to the lowest masked way: the quota experiments run on
 // the Skylake RRIP LLC, so the ablation policies only need a deterministic
 // choice.
+//
+//detlint:hotpath
 func (c *Cache) victimAmong(set int, mask uint64) int {
 	if mask == 0 {
 		panic("cache: quota victim requested with no owned ways")

@@ -31,6 +31,8 @@ func newAddrStream(pat pattern.Pattern, arr mem.Region) addrStream {
 }
 
 // at returns the shared-array address of bit i.
+//
+//detlint:hotpath
 func (s *addrStream) at(i int64) mem.Addr {
 	d := i - s.lo
 	if s.lo >= 0 && d >= 0 && d < int64(len(s.buf)) {

@@ -221,6 +221,8 @@ func (c *Config) validate() error {
 }
 
 // threshold returns the decode boundary in cycles.
+//
+//detlint:hotpath
 func (c *Config) threshold() int {
 	if c.ThresholdOverride > 0 {
 		return c.ThresholdOverride

@@ -44,6 +44,8 @@ type receiver struct {
 func (r *receiver) Name() string { return "streamline-receiver" }
 
 // Step implements sched.Agent: receive one bit.
+//
+//detlint:hotpath
 func (r *receiver) Step(now uint64) (uint64, bool) {
 	if !r.started {
 		r.started = true

@@ -49,12 +49,15 @@ type sender struct {
 }
 
 // observeGap updates gap statistics after each transmitted bit.
+//
+//detlint:hotpath
 func (s *sender) observeGap() {
 	gap := s.i - *s.recvI
 	if gap > s.maxGap {
 		s.maxGap = gap
 	}
 	if s.gapEvery > 0 && s.i%s.gapEvery == 0 {
+		//detlint:allow hotpathalloc -- gap samples land once every gapEvery bits (default thousands); amortized off the per-bit path
 		s.gaps = append(s.gaps, GapSample{Bits: s.i, Gap: gap})
 	}
 }
@@ -64,6 +67,8 @@ func (s *sender) Name() string { return "streamline-sender" }
 
 // Step implements sched.Agent: one transmitted bit, or one sync poll while
 // waiting at an epoch boundary.
+//
+//detlint:hotpath
 func (s *sender) Step(now uint64) (uint64, bool) {
 	if s.waiting {
 		return s.pollSync(now)
@@ -117,6 +122,8 @@ func (s *sender) Step(now uint64) (uint64, bool) {
 // exposed to. A rate-limited sender is serialized by its rdtscp, so the
 // full latency shows; an unthrottled sender overlaps loads across bits and
 // exposes only 1/MLP of each.
+//
+//detlint:hotpath
 func (s *sender) loadCost(r hier.AccessResult) uint64 {
 	if s.cfg.RateLimitSender {
 		return uint64(r.Latency)
@@ -128,6 +135,8 @@ func (s *sender) loadCost(r hier.AccessResult) uint64 {
 // receiver permits the sender to resume. As a fail-safe (e.g. the signal
 // line evicted by extreme noise, or an ablation where the receiver has
 // already passed the epoch), the sender resumes on its own after ~5 ms.
+//
+//detlint:hotpath
 func (s *sender) pollSync(now uint64) (uint64, bool) {
 	const timeout = 20_000_000 // cycles
 	ok, cost := s.sync.Poll(s.cfg.SenderCore, now)
@@ -170,6 +179,8 @@ func newCamo(h *hier.Hierarchy, core int, reg mem.Region, per int) *camo {
 
 // step performs the per-bit camouflage accesses at time now and returns
 // their exposed cost.
+//
+//detlint:hotpath
 func (c *camo) step(now uint64) uint64 {
 	var cost uint64
 	mlp := uint64(c.h.Machine().MLP)

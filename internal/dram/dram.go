@@ -101,10 +101,10 @@ func ScaledConfig(missMean, threshold int) Config {
 // Model is a deterministic DRAM latency model. Not safe for concurrent use;
 // the simulator is single-threaded by design.
 type Model struct {
-	cfg Config
+	cfg Config //detlint:lifecycle-skip timing/geometry configuration fixed at construction
 	x   *rng.Xoshiro
 
-	bankMask    uint64
+	bankMask    uint64  //detlint:lifecycle-skip derived from cfg.Banks at construction, immutable
 	rowOpen     []int64 // open row id per bank, -1 if closed
 	bankFree    []uint64
 	bankLastUse []uint64

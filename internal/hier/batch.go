@@ -79,6 +79,8 @@ type BatchResult struct {
 //
 // but with the per-access prologue hoisted out of the loop and L1 hit runs
 // short-circuited. It allocates nothing.
+//
+//detlint:hotpath
 func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk BatchClock) BatchResult {
 	h.checkCore(core)
 	div := uint64(1)
@@ -95,6 +97,7 @@ func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk Batc
 		for _, a := range addrs {
 			r := h.accessGeneral(core, a, t)
 			if h.mon != nil {
+				//detlint:allow hotpathalloc -- counter monitoring is opt-in instrumentation, nil unless a detector is attached
 				h.mon.observe(core, r.Level, t)
 			}
 			c := uint64(r.Latency)/div + clk.Extra
@@ -121,6 +124,7 @@ func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk Batc
 			h.Served[L1]++
 			spc[L1]++
 			if h.mon != nil {
+				//detlint:allow hotpathalloc -- counter monitoring is opt-in instrumentation, nil unless a detector is attached
 				h.mon.observe(core, L1, t)
 			}
 			res.Served[L1]++
@@ -133,6 +137,7 @@ func (h *Hierarchy) AccessBatch(core int, addrs []mem.Addr, now uint64, clk Batc
 		}
 		r := h.accessFast(core, a, t)
 		if h.mon != nil {
+			//detlint:allow hotpathalloc -- counter monitoring is opt-in instrumentation, nil unless a detector is attached
 			h.mon.observe(core, r.Level, t)
 		}
 		c := uint64(r.Latency)/div + clk.Extra

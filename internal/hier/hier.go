@@ -101,8 +101,8 @@ type Options struct {
 // Hierarchy is the shared-memory system. It is not safe for concurrent
 // use: the simulator interleaves agents deterministically on one goroutine.
 type Hierarchy struct {
-	mach *params.Machine
-	geom mem.Geometry
+	mach *params.Machine //detlint:lifecycle-skip immutable machine description; clones share it
+	geom mem.Geometry    //detlint:lifecycle-skip address-decomposition geometry fixed at construction
 	// opt remembers the construction options so Reset can re-derive every
 	// component seed (the formulas in New) without the caller re-supplying
 	// them. opt.Seed tracks the most recent Reset.
@@ -111,19 +111,19 @@ type Hierarchy struct {
 	// rec, when non-nil, passively records the seed-dependent side effects
 	// of the current traffic (LLC policy events and DRAM accesses) for the
 	// warmup-snapshot cache; see warmlog.go. Nil during normal runs.
-	rec *WarmLog
+	rec *WarmLog //detlint:lifecycle-skip external recorder attachment; Clone and CopyFrom deliberately leave it alone
 
 	l1 []*cache.Cache
 	l2 []*cache.Cache
 	// llcs holds one cache per trust domain; unpartitioned systems have a
 	// single shared entry.
 	llcs    []*cache.Cache
-	domains []int // core -> domain
+	domains []int //detlint:lifecycle-skip construction-time core -> domain assignment, immutable
 	dram    *dram.Model
 	pf      []prefetch.Prefetcher
 	tlbs    []*tlb.TLB
 	fillRnd *rng.Xoshiro // non-nil when RandomFillProb > 0
-	fillP   float64
+	fillP   float64      //detlint:lifecycle-skip derived from opt.RandomFillProb at construction, immutable
 
 	// quota, when non-nil, is the dynamic way-quota rebalancer driving the
 	// single quota-managed LLC (see quota.go).
@@ -133,7 +133,7 @@ type Hierarchy struct {
 	// demand access (see monitor.go). It is external instrumentation, never
 	// consulted for an access's outcome: Reset and Clone drop it, CopyFrom
 	// leaves the destination's attachment alone.
-	mon *Monitor
+	mon *Monitor //detlint:lifecycle-skip external instrumentation attachment; see comment above
 
 	pfBuf []mem.Addr
 
@@ -142,7 +142,7 @@ type Hierarchy struct {
 	// straight-line path with the per-access llcFor/tlbs/fillRnd branches
 	// hoisted out (every paper experiment's default; see DESIGN.md
 	// "Performance").
-	fast bool
+	fast bool //detlint:lifecycle-skip configuration classification fixed at construction
 
 	// dir holds the fast path's core-valid bits, one word per (LLC set,
 	// way): bit c set means core c may hold a private copy of the line in
@@ -154,7 +154,7 @@ type Hierarchy struct {
 	// resulting cache state is identical to the broadcast's. nil on the
 	// general path.
 	dir     []uint8
-	dirWays int
+	dirWays int //detlint:lifecycle-skip directory stride derived from LLC associativity, immutable
 	// orphans records private copies that exist while their line is absent
 	// from the LLC — the one case the directory cannot index: a prefetch
 	// issued mid-access can evict the very line an L2 hit is about to
@@ -316,6 +316,8 @@ func (h *Hierarchy) LLC() *cache.Cache { return h.llcs[0] }
 
 // llcFor returns the LLC partition visible to core. Quota domains all see
 // the single shared LLC; their domain index is accounting, not a partition.
+//
+//detlint:hotpath
 func (h *Hierarchy) llcFor(core int) *cache.Cache {
 	if h.quota != nil {
 		return h.llcs[0]
@@ -328,6 +330,8 @@ func (h *Hierarchy) DRAMModel() *dram.Model { return h.dram }
 
 // checkCore panics on an out-of-range core id; the ids are fixed small
 // constants in every caller, so this is a programming error, not input.
+//
+//detlint:hotpath
 func (h *Hierarchy) checkCore(core int) {
 	if core < 0 || core >= len(h.l1) {
 		panic(fmt.Sprintf("hier: core %d out of range [0,%d)", core, len(h.l1)))
@@ -336,6 +340,8 @@ func (h *Hierarchy) checkCore(core int) {
 
 // Access performs a demand load from the given core at time now and
 // returns its latency and serving level.
+//
+//detlint:hotpath
 func (h *Hierarchy) Access(core int, a mem.Addr, now uint64) AccessResult {
 	h.checkCore(core)
 	var r AccessResult
@@ -345,6 +351,7 @@ func (h *Hierarchy) Access(core int, a mem.Addr, now uint64) AccessResult {
 		r = h.accessGeneral(core, a, now)
 	}
 	if h.mon != nil {
+		//detlint:allow hotpathalloc -- counter monitoring is opt-in instrumentation, nil unless a detector is attached
 		h.mon.observe(core, r.Level, now)
 	}
 	return r
@@ -357,6 +364,8 @@ func (h *Hierarchy) Access(core int, a mem.Addr, now uint64) AccessResult {
 // event-for-event identical to accessGeneral under h.fast's precondition —
 // the devirtualization property test and the golden conformance suite hold
 // it to that.
+//
+//detlint:hotpath
 func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	line := h.geom.LineOf(a)
 	lat := &h.mach.Lat
@@ -395,6 +404,7 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	llc := h.llcs[0]
 	llcRes := llc.Access(line) // installs on miss
 	if h.rec != nil {
+		//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 		h.rec.llcAccess(0, llc.SetOf(line), llcRes)
 	}
 	idx := llc.SetOf(line)*h.dirWays + llcRes.Way
@@ -420,6 +430,7 @@ func (h *Hierarchy) accessFast(core int, a mem.Addr, now uint64) AccessResult {
 	// Full miss: the line was fetched from DRAM (and filled above).
 	h.count(core, DRAM)
 	if h.rec != nil {
+		//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 		h.rec.dram(now, a)
 	}
 	return AccessResult{Latency: h.dram.Latency(now, a), Level: DRAM}
@@ -434,6 +445,8 @@ type orphan struct {
 
 // addOrphan records that core holds a private copy of line while the line
 // is not in the LLC.
+//
+//detlint:hotpath
 func (h *Hierarchy) addOrphan(line mem.Line, core int) {
 	for i := range h.orphans {
 		if h.orphans[i].line == line {
@@ -441,12 +454,15 @@ func (h *Hierarchy) addOrphan(line mem.Line, core int) {
 			return
 		}
 	}
+	//detlint:allow hotpathalloc -- orphan set is capped by concurrently tracked private-only lines; cap-8 buffer from New absorbs the steady state
 	h.orphans = append(h.orphans, orphan{line: line, mask: 1 << uint(core)})
 }
 
 // takeOrphans removes and returns the orphan holder mask for line (0 if
 // none): called when line enters the LLC, at which point the directory
 // takes over tracking those copies.
+//
+//detlint:hotpath
 func (h *Hierarchy) takeOrphans(line mem.Line) uint8 {
 	if len(h.orphans) == 0 {
 		return 0
@@ -466,6 +482,8 @@ func (h *Hierarchy) takeOrphans(line mem.Line) uint8 {
 // accessGeneral handles every configuration (partitioned LLC, TLB
 // modelling, random fill); mitigation experiments pay for the features they
 // turn on.
+//
+//detlint:hotpath
 func (h *Hierarchy) accessGeneral(core int, a mem.Addr, now uint64) AccessResult {
 	line := h.geom.LineOf(a)
 	lat := &h.mach.Lat
@@ -504,6 +522,7 @@ func (h *Hierarchy) accessGeneral(core int, a mem.Addr, now uint64) AccessResult
 	}
 	llcRes := llc.Access(line) // installs on miss
 	if h.rec != nil {
+		//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 		h.rec.llcAccess(uint8(h.domains[core]), llc.SetOf(line), llcRes)
 	}
 	if llcRes.DidEvict {
@@ -517,12 +536,15 @@ func (h *Hierarchy) accessGeneral(core int, a mem.Addr, now uint64) AccessResult
 	// Full miss: the line was fetched from DRAM (and filled above).
 	h.count(core, DRAM)
 	if h.rec != nil {
+		//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 		h.rec.dram(now, a)
 	}
 	return AccessResult{Latency: h.dram.Latency(now, a) + tlbPenalty, Level: DRAM}
 }
 
 // count records a served access for the global and per-core counters.
+//
+//detlint:hotpath
 func (h *Hierarchy) count(core int, level Level) {
 	h.Served[level]++
 	h.ServedPerCore[core][level]++
@@ -531,6 +553,8 @@ func (h *Hierarchy) count(core int, level Level) {
 // backInvalidate removes the private copies of line held by cores of the
 // evicting domain, preserving inclusion after an LLC eviction. (Other
 // domains keep their own partition's copy.)
+//
+//detlint:hotpath
 func (h *Hierarchy) backInvalidate(domain int, line mem.Line) {
 	for c := range h.l1 {
 		if h.domains[c] != domain {
@@ -544,6 +568,8 @@ func (h *Hierarchy) backInvalidate(domain int, line mem.Line) {
 // backInvalidateAll removes every core's private copies of line: the
 // quota-managed LLC is shared across trust domains, so (unlike partitioned
 // evictions) any core may hold a copy of its victims.
+//
+//detlint:hotpath
 func (h *Hierarchy) backInvalidateAll(line mem.Line) {
 	for c := range h.l1 {
 		h.l1[c].Invalidate(line)
@@ -555,6 +581,8 @@ func (h *Hierarchy) backInvalidateAll(line mem.Line) {
 // whose directory bit is set are probed, in ascending core order (the same
 // order the broadcast visits them). Cores with stale bits hold nothing, so
 // their Invalidate calls are the same no-ops the broadcast performs.
+//
+//detlint:hotpath
 func (h *Hierarchy) backInvalidateMask(mask uint8, line mem.Line) {
 	for mask != 0 {
 		c := bits.TrailingZeros8(mask)
@@ -566,6 +594,8 @@ func (h *Hierarchy) backInvalidateMask(mask uint8, line mem.Line) {
 
 // prefetchAfter lets the core's prefetcher observe address a and performs
 // the proposed fills into the core's L2 and its LLC partition.
+//
+//detlint:hotpath
 func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
 	h.pfBuf = h.pf[core].Observe(a, false, h.pfBuf[:0])
 	for _, pa := range h.pfBuf {
@@ -579,6 +609,7 @@ func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
 			r = llc.InstallPrefetch(pl)
 		}
 		if h.rec != nil {
+			//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 			h.rec.llcPrefetch(uint8(h.domains[core]), llc.SetOf(pl), r)
 		}
 		if r.DidEvict {
@@ -596,6 +627,8 @@ func (h *Hierarchy) prefetchAfter(core int, a mem.Addr) {
 // the directory maintained on every LLC touch. It reports whether one of
 // the prefetch fills evicted the demand line the caller is mid-way through
 // serving (the orphan case; see accessFast).
+//
+//detlint:hotpath
 func (h *Hierarchy) prefetchAfterFast(core int, a mem.Addr, line mem.Line) (evictedSelf bool) {
 	h.pfBuf = h.pf[core].Observe(a, false, h.pfBuf[:0])
 	if len(h.pfBuf) == 0 {
@@ -606,6 +639,7 @@ func (h *Hierarchy) prefetchAfterFast(core int, a mem.Addr, line mem.Line) (evic
 		pl := h.geom.LineOf(pa)
 		r := llc.InstallPrefetch(pl)
 		if h.rec != nil {
+			//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 			h.rec.llcPrefetch(0, llc.SetOf(pl), r)
 		}
 		idx := llc.SetOf(pl)*h.dirWays + r.Way
@@ -630,11 +664,14 @@ func (h *Hierarchy) prefetchAfterFast(core int, a mem.Addr, line mem.Line) (evic
 // Flush models clflush: the line is removed from every cache in the system.
 // It returns the flush latency and whether the line was cached anywhere —
 // the timing signal Flush+Flush decodes.
+//
+//detlint:hotpath
 func (h *Hierarchy) Flush(core int, a mem.Addr) (latency int, wasCached bool) {
 	h.checkCore(core)
 	if h.rec != nil {
 		// Flushes change LLC policy state in victim-dependent ways the warm
 		// log cannot re-feed; no warmup flushes, so just abort.
+		//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 		h.rec.abort()
 	}
 	line := h.geom.LineOf(a)

@@ -85,8 +85,9 @@ func (h *Hierarchy) Reset(seed uint64) error {
 // statistics — is copied.
 func (h *Hierarchy) Clone() (*Hierarchy, error) {
 	n := &Hierarchy{
-		mach:         h.mach,
-		geom:         h.geom,
+		mach: h.mach,
+		geom: h.geom,
+		//detlint:allow lifecycle -- Options' reference fields are construction-time config shared by design; Seed, the one mutated field, is a value
 		opt:          h.opt,
 		domains:      append([]int(nil), h.domains...),
 		dram:         h.dram.Clone(),

@@ -43,18 +43,20 @@ type QuotaConfig struct {
 // (largest-remainder apportionment, floored at MinWays, ties to the lower
 // domain index — fully deterministic).
 type quotaMgr struct {
-	cfg     QuotaConfig
-	domains int
-	ways    int
-	lookups uint64   // demand lookups since the last rebalance
-	misses  []uint64 // per-domain misses in the current rebalance window
-	budget  []uint16 // current per-set way budgets
-	initial []uint16 // construction-time budgets, restored by reset
-	scratch []uint16 // rebalance workspace, kept to stay allocation-free
-	rems    []uint64 // largest-remainder workspace
+	cfg     QuotaConfig //detlint:lifecycle-skip rebalancing configuration fixed at construction
+	domains int         //detlint:lifecycle-skip domain count fixed at construction, identical across the lifecycle
+	ways    int         //detlint:lifecycle-skip LLC associativity fixed at construction, identical across the lifecycle
+	lookups uint64      // demand lookups since the last rebalance
+	misses  []uint64    // per-domain misses in the current rebalance window
+	budget  []uint16    // current per-set way budgets
+	initial []uint16    // construction-time budgets, restored by reset
+	scratch []uint16    //detlint:lifecycle-skip rebalance workspace overwritten before every use; contents never read across calls
+	rems    []uint64    //detlint:lifecycle-skip largest-remainder workspace overwritten before every use; contents never read across calls
 }
 
 // minWays returns the effective rebalancing floor.
+//
+//detlint:hotpath
 func (q *QuotaConfig) minWays() int {
 	if q.MinWays <= 0 {
 		return 1
@@ -114,6 +116,8 @@ func newQuotaMgr(cfg QuotaConfig, budgets []int, ways int) *quotaMgr {
 // noteLookup records one demand LLC lookup by dom and reports whether a
 // rebalance just changed the budgets (the caller then pushes them into the
 // cache).
+//
+//detlint:hotpath
 func (m *quotaMgr) noteLookup(dom int, miss bool) bool {
 	if miss {
 		m.misses[dom]++
@@ -132,6 +136,8 @@ func (m *quotaMgr) noteLookup(dom int, miss bool) bool {
 // rebalance apportions the ways above the per-domain floor proportionally
 // to each domain's miss share via the largest-remainder method, then clears
 // the miss window. A window with no misses keeps the current budgets.
+//
+//detlint:hotpath
 func (m *quotaMgr) rebalance() bool {
 	var total uint64
 	for _, v := range m.misses {
@@ -183,10 +189,13 @@ func (m *quotaMgr) rebalance() bool {
 // the rebalancer observes it (pushing fresh budgets into the LLC when a
 // rebalance fires), and in copy-on-access mode a cross-domain hit is served
 // from memory while the accessor takes ownership of the line.
+//
+//detlint:hotpath
 func (h *Hierarchy) accessQuota(core int, llc *cache.Cache, line mem.Line, a mem.Addr, now uint64, tlbPenalty int) AccessResult {
 	if h.rec != nil {
 		// The warm log cannot re-feed ownership transfers; quota
 		// configurations are never pooled, so recording just aborts.
+		//detlint:allow hotpathalloc -- warmup recording is opt-in instrumentation, nil on measured runs
 		h.rec.abort()
 	}
 	dom := uint8(h.domains[core])

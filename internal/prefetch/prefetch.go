@@ -54,7 +54,7 @@ func (None) Reset() {}
 // would pre-install lines of not-yet-transmitted bits and corrupt the
 // channel, which real hardware demonstrably does not (Table 1).
 type NextLine struct {
-	g       mem.Geometry
+	g       mem.Geometry //detlint:lifecycle-skip address-decomposition geometry fixed at construction
 	last    mem.Line
 	lastSet bool
 }
@@ -85,7 +85,7 @@ func (p *NextLine) observe(cur mem.Line, lip int, dst []mem.Addr) []mem.Addr {
 }
 
 // Reset implements Prefetcher.
-func (p *NextLine) Reset() { p.lastSet = false }
+func (p *NextLine) Reset() { p.last, p.lastSet = 0, false }
 
 // pageNone marks a free Streamer slot in-band: no simulated access can
 // land on page 2^64-1 (that would require an allocation reaching the top
@@ -108,8 +108,8 @@ type streamMeta struct {
 // small ("dense") stride, and then prefetches several lines ahead along
 // the detected direction, within the page.
 type Streamer struct {
-	g     mem.Geometry
-	pages []uint64 // tracked page per slot; pageNone = free
+	g     mem.Geometry //detlint:lifecycle-skip address-decomposition geometry fixed at construction
+	pages []uint64     // tracked page per slot; pageNone = free
 	meta  []streamMeta
 	// last is the slot of the most recently observed page. Streaming
 	// workloads revisit one page dozens of times before moving on, so the
@@ -121,11 +121,11 @@ type Streamer struct {
 	// Window is the maximum |stride| (in lines) the streamer can learn.
 	// Intel's streamer keys on dense runs; 2 reproduces Table 1's x<=2
 	// rows being prefetched and x>=3 rows escaping.
-	Window int
+	Window int //detlint:lifecycle-skip tuning knob set before use, constant while running
 	// Degree is how many lines ahead are prefetched once trained.
-	Degree int
+	Degree int //detlint:lifecycle-skip tuning knob set before use, constant while running
 	// ConfThreshold is how many confirming deltas are needed to train.
-	ConfThreshold int
+	ConfThreshold int //detlint:lifecycle-skip tuning knob set before use, constant while running
 }
 
 // NewStreamer returns a streamer with Intel-flavoured defaults (16 tracked
@@ -254,15 +254,15 @@ func (p *Streamer) victim() int {
 // two or more pages makes consecutive deltas alternate, which is exactly
 // how Streamline's (x>=3, y>=2) pattern escapes it.
 type Stride struct {
-	g        mem.Geometry
+	g        mem.Geometry //detlint:lifecycle-skip address-decomposition geometry fixed at construction
 	lastAddr mem.Addr
 	lastSet  bool
 	delta    int64
 	conf     int
 	// Degree is how many strides ahead to prefetch when trained.
-	Degree int
+	Degree int //detlint:lifecycle-skip tuning knob set before use, constant while running
 	// ConfThreshold is the number of identical consecutive deltas needed.
-	ConfThreshold int
+	ConfThreshold int //detlint:lifecycle-skip tuning knob set before use, constant while running
 }
 
 // NewStride returns a stride detector with default degree 2 and
@@ -332,21 +332,21 @@ func (p *Stride) observe(addr mem.Addr, page uint64, dst []mem.Addr) []mem.Addr 
 // Composite chains several prefetchers, deduplicating proposed lines per
 // observation.
 type Composite struct {
-	g     mem.Geometry
+	g     mem.Geometry //detlint:lifecycle-skip address-decomposition geometry fixed at construction
 	parts []Prefetcher
 	// nl/st/sd devirtualize the stock Intel-like composition (mirroring
 	// internal/cache's concrete-type policy dispatch): when the parts are
 	// exactly [NextLine, Streamer, Stride] the Observe loop calls them
 	// through these concrete pointers, skipping three interface dispatches
 	// on every observation. All non-nil or all nil.
-	nl *NextLine
-	st *Streamer
-	sd *Stride
+	nl *NextLine //detlint:lifecycle-skip devirtualization alias of parts[0]; reset/copied through parts
+	st *Streamer //detlint:lifecycle-skip devirtualization alias of parts[1]; reset/copied through parts
+	sd *Stride   //detlint:lifecycle-skip devirtualization alias of parts[2]; reset/copied through parts
 	// seen is the per-observation dedup scratch. Observations propose at
 	// most 1+Degree+Degree candidate lines, so a linear scan of a small
 	// slice beats a hash map (whose clear/hash/probe cost dominated the
 	// pre-batching Observe profile).
-	seen []mem.Line
+	seen []mem.Line //detlint:lifecycle-skip per-observation dedup scratch, resliced to [:0] before every use; contents never read across calls
 }
 
 // NewComposite returns a prefetcher combining parts in order.

@@ -11,6 +11,14 @@
 // ages are the motivating example: swapping age []uint8 for agePk []uint64
 // changes the field list, and without this tripwire a stale Reset would
 // silently leave the new layout untouched.
+//
+// The primary guard for lifecycle coverage is now the static lifecycle
+// analyzer (internal/analysis/lifecycle, run by detlint and go vet): it
+// proves at compile time that every field of a Reset/Clone/CopyFrom struct
+// is assigned or copied in all three methods, before any test runs. This
+// package remains the runtime backstop — it catches drift in the hand-kept
+// audit lists themselves and verifies behavioral equivalence (Equal), which
+// no static check can.
 package statetest
 
 import (
@@ -66,10 +74,10 @@ func Fields(t TB, sample interface{}, covered ...string) {
 	sort.Strings(missing)
 	sort.Strings(extra)
 	for _, name := range missing {
-		t.Errorf("statetest: %v gained field %q not covered by its lifecycle methods — update Reset/Clone/CopyFrom and this audit list", typ, name)
+		t.Errorf("statetest: %s.%s is not covered by the lifecycle methods — update Reset/Clone/CopyFrom and this audit list (the lifecycle analyzer flags the same field statically: go run ./cmd/detlint ./...)", typ.String(), name)
 	}
 	for _, name := range extra {
-		t.Errorf("statetest: %v no longer has field %q — update the lifecycle methods and this audit list", typ, name)
+		t.Errorf("statetest: %s.%s no longer exists — update the lifecycle methods and this audit list", typ.String(), name)
 	}
 }
 

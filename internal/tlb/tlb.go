@@ -53,7 +53,7 @@ func Skylake2M() Config {
 
 // level is one set-associative translation cache with per-set LRU.
 type level struct {
-	sets, ways int
+	sets, ways int      //detlint:lifecycle-skip geometry fixed at construction, identical across the lifecycle
 	tags       []uint64 // page numbers; 0 is encoded as +1
 	stamp      []uint32
 	clock      uint32
@@ -97,7 +97,7 @@ func (l *level) lookup(page uint64) bool {
 
 // TLB is one core's data TLB.
 type TLB struct {
-	cfg Config
+	cfg Config //detlint:lifecycle-skip level-shape/latency configuration fixed at construction
 	l1  *level
 	l2  *level
 
