@@ -390,6 +390,75 @@ func suite(scale float64) []bench {
 		},
 	})
 
+	// Chained ladder through the work-stealing segment scheduler: the shape
+	// of the payload-size experiments under checkpoints. Each op runs a
+	// skewed ladder of payload prefixes twice (two repetitions, two
+	// workers): the first member of each chain runs cold, the longer ones
+	// fork from its published checkpoints, and the second worker steals the
+	// other repetition's chain. The tree is dropped per op so every
+	// iteration does identical work. bitsPerOp counts *delivered* bits (the
+	// sum of ladder lengths); the checkpoint win shows up as delivered
+	// KB/s above channel/default's.
+	stealLadder := []int{
+		scaled(10_000, scale), scaled(20_000, scale),
+		scaled(40_000, scale), scaled(80_000, scale),
+	}
+	stealReps := 2
+	stealBits := 0
+	for _, n := range stealLadder {
+		stealBits += n
+	}
+	var stealErrRate float64
+	suite = append(suite, bench{
+		name:      "runner/steal",
+		bitsPerOp: stealBits * stealReps,
+		simErrPct: func() float64 { return stealErrRate * 100 },
+		fn: func(b *testing.B) {
+			maxLen := stealLadder[len(stealLadder)-1]
+			pays := make([][]byte, stealReps)
+			for r := range pays {
+				pays[r] = payload.Random(uint64(100+r), maxLen)
+			}
+			var specs []runner.Spec
+			deps := make([][]int, len(stealLadder)*stealReps)
+			for p := range stealLadder {
+				for r := 0; r < stealReps; r++ {
+					i := len(specs)
+					specs = append(specs, runner.Spec{Experiment: "bench-steal", Point: p, Rep: r})
+					if p > 0 {
+						deps[i] = []int{i - stealReps}
+					}
+				}
+			}
+			fn := func(spec runner.Spec, _ uint64) (float64, error) {
+				cfg := core.DefaultConfig()
+				// Chain members share the repetition's seed and payload
+				// stream; the ladder lengths are payload prefixes.
+				cfg.Seed = uint64(100 + spec.Rep)
+				cfg.Chain = &core.ChainSpec{Key: 0x57ea1, Lengths: stealLadder}
+				res, err := core.Run(cfg, pays[spec.Rep][:stealLadder[spec.Point]])
+				if err != nil {
+					return 0, err
+				}
+				return res.Errors.Rate(), nil
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.DropCheckpoints()
+				rates, err := runner.ExecuteSegments(specs, deps, fn, runner.Options{Root: 7, Workers: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum := 0.0
+				for _, r := range rates {
+					sum += r
+				}
+				stealErrRate = sum / float64(len(rates))
+			}
+		},
+	})
+
 	// LLC access path under thrash: every access misses and evicts once
 	// the cache is warm (the sender's steady state).
 	thrashN := scaled(2_000_000, scale)

@@ -25,9 +25,11 @@ type addrStream struct {
 	lo   int64 // bit index of buf[0]; -1 until the first refill
 }
 
-func newAddrStream(pat pattern.Pattern, arr mem.Region) addrStream {
+// newAddrStream builds a stream over buf, which must be addrChunk long
+// (buildAgents carves all three streams' buffers out of one arena).
+func newAddrStream(pat pattern.Pattern, arr mem.Region, buf []mem.Addr) addrStream {
 	return addrStream{pat: pat, base: arr.Base, size: arr.Size,
-		buf: make([]mem.Addr, addrChunk), lo: -1}
+		buf: buf, lo: -1}
 }
 
 // at returns the shared-array address of bit i.

@@ -95,29 +95,49 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		return nil, fmt.Errorf("core: empty payload")
 	}
 
-	hopt := hier.Options{
-		LLCPolicy:       cfg.LLCPolicy,
-		DisablePrefetch: cfg.DisablePrefetch,
-		DRAM:            cfg.DRAM,
-		Seed:            cfg.Seed,
-		RandomFillProb:  cfg.RandomFillProb,
-		Quota:           cfg.Quota,
+	hopt := buildHierOptions(&cfg)
+	// Build the transmitted bit stream early (it needs no simulator):
+	// optional ECC, an optional transient-burning preamble, then optional
+	// PRNG modulation. The chain machinery hashes it for memo and fork keys.
+	chanBits := payloadBits
+	if cfg.ECC {
+		chanBits = ecc.Encode(payloadBits)
 	}
-	if !cfg.HugePages {
-		t := tlb.Skylake4K()
-		hopt.TLB = &t
+	stream := chanBits
+	if cfg.PreambleBits > 0 {
+		stream = append(payload.Random(cfg.KeySeed^0x9aeab1e, cfg.PreambleBits), chanBits...)
 	}
-	if cfg.PartitionWays > 0 {
-		// Sender and receiver land in separate trust domains; everything
-		// else shares the sender's.
-		hopt.PartitionWays = cfg.PartitionWays
-		domains := make([]int, cfg.Machine.Cores)
-		domains[cfg.ReceiverCore] = 1
-		hopt.CoreDomains = domains
+	tx := stream
+	if cfg.Modulate {
+		tx = payload.Modulate(stream, cfg.KeySeed)
 	}
-	lease, err := acquireSim(&cfg, hopt)
-	if err != nil {
-		return nil, err
+
+	// Chain runs (Config.Chain): a bit-identical earlier run may have left
+	// its Result in the memo, or a prefix-sharing sibling may have
+	// published a checkpoint to fork from (see checkpoint.go).
+	chain := newChainRun(&cfg, &hopt, payloadBits, tx)
+	if chain != nil {
+		if res := memoLookup(chain.memoKey); res != nil {
+			return res, nil
+		}
+	}
+	var lease *simLease
+	var fork *chainCheckpoint
+	if chain != nil {
+		if fork = chain.bestFork(); fork != nil {
+			if lease = leaseForFork(&cfg, &hopt, fork); lease == nil {
+				fork = nil
+			} else {
+				chainCounters.forks.Add(1)
+			}
+		}
+	}
+	if lease == nil {
+		var err error
+		lease, err = acquireSim(&cfg, hopt)
+		if err != nil {
+			return nil, err
+		}
 	}
 	// The hierarchy goes back to the idle pool when the run finishes (after
 	// the Result has deep-copied everything it reports); every checkout
@@ -132,21 +152,6 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 	pat := cfg.Pattern
 	if pat == nil {
 		pat = pattern.NewStreamline(h.Geometry())
-	}
-
-	// Build the transmitted bit stream: optional ECC, an optional
-	// transient-burning preamble, then optional PRNG modulation.
-	chanBits := payloadBits
-	if cfg.ECC {
-		chanBits = ecc.Encode(payloadBits)
-	}
-	stream := chanBits
-	if cfg.PreambleBits > 0 {
-		stream = append(payload.Random(cfg.KeySeed^0x9aeab1e, cfg.PreambleBits), chanBits...)
-	}
-	tx := stream
-	if cfg.Modulate {
-		tx = payload.Modulate(stream, cfg.KeySeed)
 	}
 
 	sc, err := syncch.New(h, syncRegion)
@@ -202,24 +207,57 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 
 	var s sched.Scheduler
 	s.MaxSteps = uint64(len(tx))*64 + 1<<22
+	s.Reserve(3 + len(cfg.Noise))
 	s.Add(snd, 0)
 	// The receiver sleeps through the sender's head start.
 	recvStart := uint64(cfg.DelayedStartBits) * 240
 	s.Add(rcv, recvStart)
 
 	noiseCore := pickNoiseCore(&cfg)
+	var noiseAgents []*noise.Workload
 	for i, ncfg := range cfg.Noise {
 		w := noise.New(ncfg, h, noiseCore, alloc, cfg.Seed^uint64(0x9015e+i))
+		noiseAgents = append(noiseAgents, w)
 		s.AddBackground(w, 0)
 	}
 	if cfg.SystemNoise {
 		os := noise.Config{Name: "os-background", Shape: noise.Rand,
 			Footprint: 4 << 20, ComputeGap: 2000}
-		s.AddBackground(noise.New(os, h, noiseCore, alloc, cfg.Seed^0x05), 0)
+		w := noise.New(os, h, noiseCore, alloc, cfg.Seed^0x05)
+		noiseAgents = append(noiseAgents, w)
+		s.AddBackground(w, 0)
 	}
 
-	if _, err := s.Run(); err != nil {
-		return nil, err
+	// Chain plumbing: rewind the roster to the fork's checkpoint, and plan
+	// the boundaries this run publishes on its way through new territory.
+	var pause *pauseCtl
+	if chain != nil {
+		if fork != nil {
+			if err := chain.restoreFork(fork, &s, snd, rcv, noiseAgents, sc); err != nil {
+				return nil, err
+			}
+		}
+		if pause = chain.preparePause(&s, fork); pause != nil {
+			snd.pause = pause
+			rcv.pause = pause
+		}
+	}
+
+	var runErr error
+	if fork != nil {
+		_, runErr = s.Resume()
+	} else {
+		_, runErr = s.Run()
+	}
+	for runErr == sched.ErrPaused {
+		// An agent yielded at a checkpoint boundary: freeze the complete
+		// state for the chain's longer members, then continue.
+		chain.publish(pause, h, &s, snd, rcv, noiseAgents, sc)
+		pause.advance()
+		_, runErr = s.Resume()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	var counters []hier.CounterWindow
 	if mon != nil {
@@ -257,12 +295,10 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	zoBursts, ozBursts := stats.DirectionalBursts(tx[pre:], rcv.rx[pre:])
-	res.BurstSingleFrac01 = stats.SingleBitFraction(zoBursts)
-	res.BurstSingleFrac10 = stats.SingleBitFraction(ozBursts)
-	if len(zoBursts) > 0 {
-		res.MaxBurst01 = zoBursts[0] // Bursts sorts descending
-	}
+	zoStats, ozStats := stats.DirectionalBurstStats(tx[pre:], rcv.rx[pre:])
+	res.BurstSingleFrac01 = zoStats.SingleFraction()
+	res.BurstSingleFrac10 = ozStats.SingleFraction()
+	res.MaxBurst01 = zoStats.Max
 	// Decode: demodulate, drop the preamble, then ECC-correct.
 	rxChan := rcv.rx
 	if cfg.Modulate {
@@ -290,7 +326,46 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		res.BitRateKBps = float64(res.PayloadBits) / 8192.0 / secs
 		res.ChannelKBps = float64(res.ChannelBits) / 8192.0 / secs
 	}
+	if chain != nil {
+		// A chain run's Result is a pure function of (chain fingerprint,
+		// payload): park a copy so bit-identical siblings skip simulation.
+		memoStore(chain.memoKey, res)
+	}
 	return res, nil
+}
+
+// buildHierOptions maps a validated Config to the hierarchy options Run
+// builds its simulator with.
+func buildHierOptions(cfg *Config) hier.Options {
+	hopt := hier.Options{
+		LLCPolicy:       cfg.LLCPolicy,
+		DisablePrefetch: cfg.DisablePrefetch,
+		DRAM:            cfg.DRAM,
+		Seed:            cfg.Seed,
+		RandomFillProb:  cfg.RandomFillProb,
+		Quota:           cfg.Quota,
+	}
+	if !cfg.HugePages {
+		t := tlb.Skylake4K()
+		hopt.TLB = &t
+	}
+	if cfg.PartitionWays > 0 {
+		// Sender and receiver land in separate trust domains; everything
+		// else shares the sender's.
+		hopt.PartitionWays = cfg.PartitionWays
+		domains := make([]int, cfg.Machine.Cores)
+		domains[cfg.ReceiverCore] = 1
+		hopt.CoreDomains = domains
+	}
+	return hopt
+}
+
+// agentArena backs one run's agents with a single allocation: both agent
+// structs plus the three address chunk buffers their per-bit loops walk.
+type agentArena struct {
+	snd  sender
+	rcv  receiver
+	bufs [3 * addrChunk]mem.Addr
 }
 
 // buildAgents constructs the channel's two agents with every buffer their
@@ -300,19 +375,22 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 // (pinned by TestStepZeroAllocs).
 func buildAgents(cfg *Config, h *hier.Hierarchy, arr mem.Region, pat pattern.Pattern,
 	tx []byte, sc *syncch.Channel, sndCamo, rcvCamo *camo) (*sender, *receiver) {
-	rcv := &receiver{
+	a := &agentArena{}
+	rcv := &a.rcv
+	*rcv = receiver{
 		cfg:  cfg,
 		h:    h,
 		rx:   make([]byte, len(tx)),
 		sync: sc,
 		camo: rcvCamo,
 		x:    rng.New(cfg.Seed ^ 0x4ecf),
-		rxS:  newAddrStream(pat, arr),
+		rxS:  newAddrStream(pat, arr, a.bufs[0:addrChunk:addrChunk]),
 	}
 	if cfg.TraceLevels {
 		rcv.levelTrace = make([]byte, len(tx))
 	}
-	snd := &sender{
+	snd := &a.snd
+	*snd = sender{
 		cfg:      cfg,
 		h:        h,
 		tx:       tx,
@@ -321,8 +399,8 @@ func buildAgents(cfg *Config, h *hier.Hierarchy, arr mem.Region, pat pattern.Pat
 		x:        rng.New(cfg.Seed ^ 0x5e4d),
 		recvI:    &rcv.Bits,
 		gapEvery: int64(cfg.GapSampleEvery),
-		txS:      newAddrStream(pat, arr),
-		trailS:   newAddrStream(pat, arr),
+		txS:      newAddrStream(pat, arr, a.bufs[addrChunk:2*addrChunk:2*addrChunk]),
+		trailS:   newAddrStream(pat, arr, a.bufs[2*addrChunk:]),
 	}
 	if snd.gapEvery > 0 {
 		// One sample per gapEvery transmitted bits, for the whole run.

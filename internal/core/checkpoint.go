@@ -1,0 +1,444 @@
+// Mid-run checkpoint tree (see DESIGN.md "Snapshot tree & work stealing").
+//
+// Runs that differ only in payload length execute bit-for-bit identically
+// until the step that completes the shorter payload's last transmitted bit:
+// that step is the first one whose outcome reads len(tx) (the sender's
+// done/sync-wait checks, the receiver's done check). So a family of runs
+// declared via Config.Chain shares its simulation prefix: the first member
+// to cross a shorter member's boundary pauses just before either agent
+// processes that bit, freezes the complete simulation state — hierarchy
+// (hier.Checkpoint), scheduler clocks (sched.State), and every agent's
+// cursor — and publishes it in a process-wide tree keyed by (chain
+// fingerprint, boundary). Later members fork from the deepest boundary at
+// or below their own length and simulate only the tail.
+//
+// Unlike the warmup memo (reuse.go), nothing is replayed: a fork is a deep
+// same-seed restore, so evictions, flushes, and noise during the prefix are
+// all legal. The legality rules are config-gated instead: chainEligible
+// rejects configurations whose state lives outside the lifecycle (a
+// caller-supplied LLC policy, random fill, quotas) or outside the captured
+// agent set (counter monitors, caller-supplied patterns). Misses and
+// hash-mismatched forks degrade to cold runs — the invariant "fork ≡ fresh
+// run, bit for bit" is pinned by TestCheckpointForkEqualsFreshRun and the
+// golden suite's checkpoint-off axis.
+package core
+
+import (
+	"fmt"
+
+	"streamline/internal/ecc"
+	"streamline/internal/hier"
+	"streamline/internal/mem"
+	"streamline/internal/noise"
+	"streamline/internal/params"
+	"streamline/internal/rng"
+	"streamline/internal/sched"
+	"streamline/internal/syncch"
+)
+
+// pauseCtl coordinates checkpoint pauses between the two channel agents and
+// the scheduler. Whichever agent first enters Step with its bit index equal
+// to at calls Stop and yields; the scheduler discards that step, Run/Resume
+// returns sched.ErrPaused, and the run loop publishes a checkpoint before
+// advancing at to the next boundary and resuming. Because the check is an
+// exact equality against a bit index the agents pass through one at a time,
+// a boundary fires exactly once.
+type pauseCtl struct {
+	s  *sched.Scheduler
+	at int64 // next boundary (bit index); -1 disables
+	// pending holds the boundaries after at, ascending.
+	pending []int64
+}
+
+// advance moves to the next boundary after a checkpoint is taken.
+func (p *pauseCtl) advance() {
+	if len(p.pending) == 0 {
+		p.at = -1
+		return
+	}
+	p.at = p.pending[0]
+	p.pending = p.pending[1:]
+}
+
+// streamState is an addrStream's cursor: the chunk window and its position.
+// Copying the buffer (2 KB) rather than re-deriving it keeps the restore a
+// pure memcpy of the capture, with no reliance on refill-boundary
+// equivalence arguments.
+type streamState struct {
+	lo  int64
+	buf []mem.Addr
+}
+
+func captureStream(s *addrStream) streamState {
+	return streamState{lo: s.lo, buf: append([]mem.Addr(nil), s.buf...)}
+}
+
+func (st *streamState) restoreInto(s *addrStream) {
+	s.lo = st.lo
+	copy(s.buf, st.buf)
+}
+
+// senderState captures every mutable sender field. The config-derived
+// fields (cfg, h, tx, sync, recvI, gapEvery, camo identity) are rebuilt by
+// the forking run from its own — identical — configuration; the statetest
+// audit in checkpoint_test.go pins that this split covers the whole struct.
+type senderState struct {
+	i            int64
+	waiting      bool
+	waitStart    uint64
+	syncWaits    uint64
+	syncTimeouts uint64
+	bits         int64
+	maxGap       int64
+	gaps         []GapSample
+	x            *rng.Xoshiro
+	txS, trailS  streamState
+	camoPos      int
+}
+
+func captureSender(s *sender) senderState {
+	st := senderState{
+		i: s.i, waiting: s.waiting, waitStart: s.waitStart,
+		syncWaits: s.SyncWaits, syncTimeouts: s.SyncTimeouts,
+		bits: s.Bits, maxGap: s.maxGap,
+		gaps: append([]GapSample(nil), s.gaps...),
+		x:    s.x.Clone(),
+		txS:  captureStream(&s.txS), trailS: captureStream(&s.trailS),
+	}
+	if s.camo != nil {
+		st.camoPos = s.camo.pos
+	}
+	return st
+}
+
+func (st *senderState) restoreInto(s *sender) {
+	s.i, s.waiting, s.waitStart = st.i, st.waiting, st.waitStart
+	s.SyncWaits, s.SyncTimeouts = st.syncWaits, st.syncTimeouts
+	s.Bits, s.maxGap = st.bits, st.maxGap
+	s.gaps = append(s.gaps[:0], st.gaps...)
+	s.x.CopyStateFrom(st.x)
+	st.txS.restoreInto(&s.txS)
+	st.trailS.restoreInto(&s.trailS)
+	if s.camo != nil {
+		s.camo.pos = st.camoPos
+	}
+}
+
+// receiverState captures every mutable receiver field; rx and the level
+// trace travel as prefixes (bits beyond i are still zero on both sides).
+type receiverState struct {
+	i         int64
+	syncBurst int
+	startTime uint64
+	endTime   uint64
+	started   bool
+	bits      int64
+	levels    [4]uint64
+	rx        []byte
+	trace     []byte
+	x         *rng.Xoshiro
+	rxS       streamState
+	camoPos   int
+}
+
+func captureReceiver(r *receiver) receiverState {
+	st := receiverState{
+		i: r.i, syncBurst: r.syncBurst,
+		startTime: r.startTime, endTime: r.endTime, started: r.started,
+		bits: r.Bits, levels: r.Levels,
+		rx:  append([]byte(nil), r.rx[:r.i]...),
+		x:   r.x.Clone(),
+		rxS: captureStream(&r.rxS),
+	}
+	if r.levelTrace != nil {
+		st.trace = append([]byte(nil), r.levelTrace[:r.i]...)
+	}
+	if r.camo != nil {
+		st.camoPos = r.camo.pos
+	}
+	return st
+}
+
+func (st *receiverState) restoreInto(r *receiver) {
+	r.i, r.syncBurst = st.i, st.syncBurst
+	r.startTime, r.endTime, r.started = st.startTime, st.endTime, st.started
+	r.Bits, r.Levels = st.bits, st.levels
+	copy(r.rx, st.rx)
+	if r.levelTrace != nil {
+		copy(r.levelTrace, st.trace)
+	}
+	r.x.CopyStateFrom(st.x)
+	st.rxS.restoreInto(&r.rxS)
+	if r.camo != nil {
+		r.camo.pos = st.camoPos
+	}
+}
+
+// chainCheckpoint is one published node of the checkpoint tree: the frozen
+// state of every simulation component at a bit boundary. Nodes are
+// immutable after publication — captures clone, restores copy — so one node
+// serves any number of concurrent forks.
+type chainCheckpoint struct {
+	boundary int64  // bit index the paused agents are about to process
+	txHash   uint64 // FNV over tx[:boundary], verified before forking
+	ckpt     *hier.Checkpoint
+	sched    sched.State
+	snd      senderState
+	rcv      receiverState
+	sync     syncch.State
+	noise    []noise.State
+}
+
+// chainRun is one Run's view of its chain: the fingerprint keys, its own
+// final boundary, and the boundaries it may publish.
+type chainRun struct {
+	key     uint64 // chain fingerprint (config + Chain.Key, payload-length-free)
+	memoKey uint64 // key ⊕ payload length ⊕ payload content
+	tx      []byte
+	ownC    int64 // own final boundary: len(tx)-1
+	// bounds are the chain's publishable boundaries, ascending: one per
+	// declared length except the longest (nothing forks from the longest).
+	bounds []int64
+}
+
+// chainEligible reports whether cfg can participate in the checkpoint tree:
+// every piece of run state must live inside what the lifecycle plus the
+// agent captures cover. Caller-supplied LLC policies, random fill, and
+// quotas are outside the lifecycle (same rule as pooling); counter monitors
+// are dropped by Clone; caller-supplied patterns cannot be fingerprinted.
+func chainEligible(cfg *Config) bool {
+	return cfg.Chain != nil && len(cfg.Chain.Lengths) > 0 &&
+		!checkpointsDisabled.Load() &&
+		cfg.LLCPolicy == nil && cfg.RandomFillProb == 0 && cfg.Quota == nil &&
+		cfg.CounterWindow == 0 && cfg.Pattern == nil
+}
+
+// chainTxLen maps a payload length to its transmitted-bit count, or -1 when
+// the length cannot share a prefix (ECC padding on unaligned lengths).
+func chainTxLen(cfg *Config, payloadLen int) int {
+	if payloadLen <= 0 {
+		return -1
+	}
+	n := payloadLen
+	if cfg.ECC {
+		if payloadLen%ecc.DataBits != 0 {
+			return -1
+		}
+		n = ecc.EncodedLen(payloadLen)
+	}
+	return n + cfg.PreambleBits
+}
+
+// chainFingerprint extends the run fingerprint (hierarchy shape and
+// behaviour) with every remaining Config field that steers the simulation,
+// so two runs with equal chain fingerprints differ at most in payload. The
+// statetest audit on Config in checkpoint_test.go keeps this exhaustive:
+// a new Config field fails the audit until it is folded here (or documented
+// as covered elsewhere).
+func chainFingerprint(cfg *Config, hopt *hier.Options) uint64 {
+	h := params.FNVUint(params.FNVOffset, runFingerprint(cfg, hopt))
+	h = params.FNVUint(h, cfg.Chain.Key)
+	h = params.FNVUint(h, cfg.Seed)
+	h = params.FNVUint(h, cfg.KeySeed)
+	h = params.FNVUint(h, uint64(cfg.ArraySize))
+	h = fnvBool(h, cfg.Modulate)
+	h = params.FNVUint(h, uint64(cfg.TrailingLag))
+	h = fnvBool(h, cfg.RateLimitSender)
+	h = params.FNVUint(h, uint64(cfg.SyncPeriod))
+	h = params.FNVUint(h, uint64(cfg.SyncLead))
+	h = params.FNVUint(h, uint64(cfg.DelayedStartBits))
+	h = fnvBool(h, cfg.ECC)
+	h = params.FNVUint(h, uint64(cfg.PreambleBits))
+	h = params.FNVUint(h, uint64(cfg.SenderCore))
+	h = params.FNVUint(h, uint64(cfg.ReceiverCore))
+	h = fnvBool(h, cfg.SameCore)
+	h = params.FNVUint(h, uint64(cfg.ThresholdOverride))
+	h = fnvBool(h, cfg.TraceLevels)
+	h = fnvBool(h, cfg.OSJitter)
+	h = params.FNVUint(h, uint64(cfg.WarmupBytes))
+	h = fnvBool(h, cfg.SystemNoise)
+	h = params.FNVUint(h, uint64(len(cfg.Noise)))
+	for _, nc := range cfg.Noise {
+		h = params.FNVUint(h, rng.HashString(nc.Name))
+		h = params.FNVUint(h, uint64(nc.Shape))
+		h = params.FNVUint(h, uint64(nc.Footprint))
+		h = params.FNVUint(h, uint64(nc.ComputeGap))
+		h = params.FNVUint(h, uint64(nc.Stride))
+		h = params.FNVUint(h, uint64(nc.Parallel))
+	}
+	h = params.FNVUint(h, uint64(cfg.GapSampleEvery))
+	h = params.FNVUint(h, uint64(cfg.CamouflageAccesses))
+	h = params.FNVUint(h, uint64(cfg.GapClamp))
+	return h
+}
+
+// hashBits is FNV-1a over a 0/1 bit vector, used to verify payload and
+// transmitted-bit prefix identity before serving memo hits and forks.
+func hashBits(bits []byte) uint64 {
+	const prime = 0x100000001b3
+	h := params.FNVOffset
+	for _, b := range bits {
+		h = (h ^ uint64(b)) * prime
+	}
+	return h
+}
+
+// newChainRun builds a Run's chain view, or returns nil when the config is
+// not chain-eligible (the common case: plain runs pay one nil check).
+func newChainRun(cfg *Config, hopt *hier.Options, payloadBits, tx []byte) *chainRun {
+	if !chainEligible(cfg) {
+		return nil
+	}
+	c := &chainRun{
+		key:  chainFingerprint(cfg, hopt),
+		tx:   tx,
+		ownC: int64(len(tx)) - 1,
+	}
+	c.memoKey = params.FNVUint(params.FNVUint(c.key, uint64(len(payloadBits))), hashBits(payloadBits))
+	maxTx := -1
+	txLens := make([]int, 0, len(cfg.Chain.Lengths))
+	for _, l := range cfg.Chain.Lengths {
+		n := chainTxLen(cfg, l)
+		if n <= 1 {
+			continue
+		}
+		txLens = append(txLens, n)
+		if n > maxTx {
+			maxTx = n
+		}
+	}
+	for _, n := range txLens {
+		if n == maxTx {
+			continue // the longest member's boundary has no forkers
+		}
+		b := int64(n) - 1
+		dup := false
+		for _, e := range c.bounds {
+			if e == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.bounds = append(c.bounds, b)
+		}
+	}
+	// Insertion sort: the ladder is a handful of lengths.
+	for i := 1; i < len(c.bounds); i++ {
+		for j := i; j > 0 && c.bounds[j] < c.bounds[j-1]; j-- {
+			c.bounds[j], c.bounds[j-1] = c.bounds[j-1], c.bounds[j]
+		}
+	}
+	return c
+}
+
+// bestFork returns the deepest published checkpoint this run can resume
+// from, after verifying the transmitted-bit prefix hash. A mismatch means
+// the chain contract was violated (same Key, different payloads); the run
+// falls back to a cold start and stays correct.
+func (c *chainRun) bestFork() *chainCheckpoint {
+	node := lookupChainNode(c.key, c.ownC)
+	if node == nil {
+		return nil
+	}
+	if hashBits(c.tx[:node.boundary]) != node.txHash {
+		return nil
+	}
+	return node
+}
+
+// preparePause plans this run's checkpoint publications: every chain
+// boundary strictly inside the segment it is about to simulate (after the
+// fork point, at or before its own final bit) that has no node yet. Returns
+// nil when there is nothing to publish, which keeps the agents' hot paths
+// on the single nil check.
+func (c *chainRun) preparePause(s *sched.Scheduler, fork *chainCheckpoint) *pauseCtl {
+	forkC := int64(-1)
+	if fork != nil {
+		forkC = fork.boundary
+	}
+	var pend []int64
+	for _, b := range c.bounds {
+		if b > forkC && b <= c.ownC && !chainNodeExists(c.key, b) {
+			pend = append(pend, b)
+		}
+	}
+	if len(pend) == 0 {
+		return nil
+	}
+	return &pauseCtl{s: s, at: pend[0], pending: pend[1:]}
+}
+
+// publish freezes the complete simulation state at the paused boundary and
+// offers it to the tree. Failures (a full tree, an un-checkpointable
+// hierarchy) are silent: publication is an optimization for *other* runs.
+func (c *chainRun) publish(p *pauseCtl, h *hier.Hierarchy, s *sched.Scheduler,
+	snd *sender, rcv *receiver, nz []*noise.Workload, sc *syncch.Channel) {
+	if chainNodeExists(c.key, p.at) || !claimChainNode() {
+		return
+	}
+	ck, err := h.TakeCheckpoint()
+	if err != nil {
+		return
+	}
+	node := &chainCheckpoint{
+		boundary: p.at,
+		txHash:   hashBits(c.tx[:p.at]),
+		ckpt:     ck,
+		snd:      captureSender(snd),
+		rcv:      captureReceiver(rcv),
+		sync:     sc.SaveState(),
+	}
+	s.Snapshot(&node.sched)
+	for _, w := range nz {
+		node.noise = append(node.noise, w.SaveState())
+	}
+	storeChainNode(c.key, node)
+}
+
+// restoreFork rewinds a freshly built agent roster to a checkpoint. The
+// roster shape (agent count and order) is a pure function of the config,
+// which the chain fingerprint covers; the length check is a backstop.
+func (c *chainRun) restoreFork(node *chainCheckpoint, s *sched.Scheduler,
+	snd *sender, rcv *receiver, nz []*noise.Workload, sc *syncch.Channel) error {
+	if len(nz) != len(node.noise) {
+		return fmt.Errorf("core: chain fork has %d noise agents, checkpoint has %d",
+			len(nz), len(node.noise))
+	}
+	if err := s.Restore(&node.sched); err != nil {
+		return err
+	}
+	node.snd.restoreInto(snd)
+	node.rcv.restoreInto(rcv)
+	sc.RestoreState(node.sync)
+	for i, w := range nz {
+		w.RestoreState(node.noise[i])
+	}
+	return nil
+}
+
+func cloneSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	return append(make([]T, 0, len(s)), s...)
+}
+
+// cloneResult deep-copies a Result so the memo and its callers can never
+// alias each other's slices. Nil-ness is preserved field by field: a served
+// copy must DeepEqual a freshly computed Result exactly.
+func cloneResult(r *Result) *Result {
+	c := *r
+	c.Decoded = cloneSlice(r.Decoded)
+	c.GapSamples = cloneSlice(r.GapSamples)
+	c.LevelTrace = cloneSlice(r.LevelTrace)
+	c.CoreServed = cloneSlice(r.CoreServed)
+	c.Counters = cloneSlice(r.Counters)
+	return &c
+}
+
+// resultBytes estimates a Result's retained size for the memo budget.
+func resultBytes(r *Result) int {
+	return len(r.Decoded) + len(r.LevelTrace) +
+		16*len(r.GapSamples) + 32*len(r.CoreServed) + 256
+}

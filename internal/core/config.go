@@ -150,14 +150,50 @@ type Config struct {
 	// this to hold the sender-receiver gap at a controlled value; it is
 	// an experimental control, not part of the attack.
 	GapClamp int
+	// Chain declares that this run belongs to a payload-length ladder of
+	// otherwise-identical runs, enabling the mid-run checkpoint tree (see
+	// DESIGN.md "Snapshot tree"): runs that differ only in payload length
+	// simulate identically until the shorter one's last bit, so the longer
+	// run can fork from a snapshot taken at that boundary instead of
+	// re-simulating the prefix. Chain is a pure optimization — results are
+	// bit-identical with it nil, and SetCheckpoints(false) ignores it
+	// process-wide (the golden suite's checkpoint-off axis pins this).
+	Chain *ChainSpec
 }
+
+// ChainSpec identifies a prefix-sharing family of runs. All members must be
+// built from one Config varied only in payload length, with payloads that
+// are prefixes of one another (e.g. payload.Random under one seed truncated
+// to each length) — the checkpoint machinery verifies the transmitted-bit
+// prefix by hash before forking and falls back to a cold run on mismatch,
+// so a violated contract costs speed, never correctness.
+type ChainSpec struct {
+	// Key disambiguates chains whose Configs hash alike; callers derive it
+	// from the experiment identity and the payload seed.
+	Key uint64
+	// Lengths lists the family's payload bit-lengths. Checkpoints are
+	// published at the transmitted-bit boundary of every length except the
+	// longest (nothing could fork from it). With ECC enabled, lengths must
+	// be multiples of ecc.DataBits or the final-packet padding breaks
+	// prefix sharing; unaligned lengths are simply not shared.
+	Lengths []int
+}
+
+// defaultMachine is the single Skylake instance DefaultConfig (and
+// validate's nil-Machine default) hand out. A Machine installed in a Config
+// is read-only everywhere in this package, so sweep loops calling
+// DefaultConfig per repetition share it instead of rebuilding the parameter
+// tables; callers wanting a modified platform install their own
+// params.Machine (as params.KabyLakeI7 etc. do) rather than mutating this
+// one.
+var defaultMachine = params.SkylakeE3()
 
 // DefaultConfig returns the paper's default setup: 64 MB array, PRNG
 // encoding, trailing lag 5000, rate-limited sender, sync every 200000 bits
 // with a 5000-bit lead, on the Skylake machine.
 func DefaultConfig() Config {
 	return Config{
-		Machine:          params.SkylakeE3(),
+		Machine:          defaultMachine,
 		ArraySize:        64 << 20,
 		Seed:             1,
 		KeySeed:          0x5eed,
@@ -179,7 +215,7 @@ func DefaultConfig() Config {
 // validate fills defaults and checks consistency.
 func (c *Config) validate() error {
 	if c.Machine == nil {
-		c.Machine = params.SkylakeE3()
+		c.Machine = defaultMachine
 	}
 	if err := c.Machine.Validate(); err != nil {
 		return err

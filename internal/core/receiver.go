@@ -16,6 +16,9 @@ type receiver struct {
 	sync *syncch.Channel
 	camo *camo
 	x    *rng.Xoshiro
+	// pause, when non-nil, makes the receiver yield to the checkpoint
+	// machinery just before decoding bit pause.at (chain runs only).
+	pause *pauseCtl
 
 	// rxS is the chunk-buffered view of the receive index sequence.
 	rxS addrStream
@@ -47,6 +50,13 @@ func (r *receiver) Name() string { return "streamline-receiver" }
 //
 //detlint:hotpath
 func (r *receiver) Step(now uint64) (uint64, bool) {
+	if p := r.pause; p != nil && p.at == r.i {
+		// Checkpoint boundary: yield before any bit-C work happens (the
+		// receiver can overtake the sender, so either agent may reach the
+		// boundary first; whichever does triggers the one checkpoint).
+		p.s.Stop()
+		return 0, false
+	}
 	if !r.started {
 		r.started = true
 		r.startTime = now

@@ -31,7 +31,10 @@ type sender struct {
 	// full chunk of bits.
 	txS, trailS addrStream
 
-	camo         *camo
+	camo *camo
+	// pause, when non-nil, makes the sender yield to the checkpoint
+	// machinery just before transmitting bit pause.at (chain runs only).
+	pause        *pauseCtl
 	i            int64
 	waiting      bool
 	waitStart    uint64
@@ -70,6 +73,13 @@ func (s *sender) Name() string { return "streamline-sender" }
 //
 //detlint:hotpath
 func (s *sender) Step(now uint64) (uint64, bool) {
+	if p := s.pause; p != nil && p.at == s.i {
+		// Checkpoint boundary: yield before any bit-C work happens. The
+		// scheduler discards this step entirely, so the paused state is
+		// exactly "about to step the sender" (see pauseCtl).
+		p.s.Stop()
+		return 0, false
+	}
 	if s.waiting {
 		return s.pollSync(now)
 	}

@@ -138,20 +138,27 @@ func planFig7(o Opts) (*Plan, error) {
 }
 
 // planFig9 regenerates Figure 9: bit-rate and bit-error-rate versus
-// payload size, averaged with 95% confidence intervals.
+// payload size, averaged with 95% confidence intervals. The ladder is the
+// canonical prefix-sharing chain: each size extends the previous one's
+// payload, so under checkpoints only the longest member is simulated in
+// full per repetition.
 func planFig9(o Opts) (*Plan, error) {
 	sizes := o.payloadSizes()
 	var points []Point
-	for _, n := range sizes {
+	ladder := make([]int, len(sizes))
+	for i, n := range sizes {
+		ladder[i] = i
 		points = append(points, Point{
 			Label: fmt.Sprintf("n=%d", n),
-			Run: channelRun(func(int, uint64) core.Config {
-				return core.DefaultConfig()
-			}, n),
+			Run: chainedRun(o, chainDefault, sizes, 0xbead,
+				func(int, uint64) core.Config {
+					return core.DefaultConfig()
+				}, n),
 		})
 	}
 	return &Plan{
 		Points: points,
+		Chains: [][]int{ladder},
 		Assemble: func(res [][]Out) (*Table, error) {
 			t := &Table{
 				ID:     "fig9",
@@ -180,19 +187,28 @@ func planFig9(o Opts) (*Plan, error) {
 func planTable2(o Opts) (*Plan, error) {
 	sizes := o.payloadSizes()
 	var points []Point
+	// The stats points are exactly fig9's ladder — same chain, same seeds —
+	// so in a multi-experiment run they are served from the result memo. The
+	// burst points draw a different payload stream and form their own chain.
+	var statChain, burstChain []int
 	for _, n := range sizes {
+		statChain = append(statChain, len(points))
 		points = append(points, Point{
 			Label: fmt.Sprintf("n=%d", n),
-			Run: channelRun(func(int, uint64) core.Config {
-				return core.DefaultConfig()
-			}, n),
+			Run: chainedRun(o, chainDefault, sizes, 0xbead,
+				func(int, uint64) core.Config {
+					return core.DefaultConfig()
+				}, n),
 		})
+		burstChain = append(burstChain, len(points))
 		points = append(points, Point{
 			Label: fmt.Sprintf("n=%d burst structure", n),
 			Reps:  1,
-			Run: func(rep int, seed uint64) (Out, error) {
+			Run: func(rep int, _ uint64) (Out, error) {
+				key, seed := chainSeed(o, chainBurst, rep)
 				cfg := core.DefaultConfig()
 				cfg.Seed = seed
+				cfg.Chain = &core.ChainSpec{Key: key, Lengths: sizes}
 				res, err := core.Run(cfg, payload.Random(seed^0xb257, n))
 				if err != nil {
 					return Out{}, err
@@ -207,6 +223,7 @@ func planTable2(o Opts) (*Plan, error) {
 	}
 	return &Plan{
 		Points: points,
+		Chains: [][]int{statChain, burstChain},
 		Assemble: func(res [][]Out) (*Table, error) {
 			t := &Table{
 				ID:     "table2",
@@ -246,14 +263,21 @@ func planTable3(o Opts) (*Plan, error) {
 	}
 	var points []Point
 	for _, c := range configs {
-		points = append(points, Point{
-			Label: c.name,
-			Run: channelRun(func(int, uint64) core.Config {
-				cfg := core.DefaultConfig()
-				cfg.ECC = c.ecc
-				return cfg
-			}, n),
-		})
+		run := channelRun(func(int, uint64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.ECC = c.ecc
+			return cfg
+		}, n)
+		if !c.ecc {
+			// The ECC-off point is DefaultConfig at the steady payload: it
+			// joins the shared ladder, forking from fig9's checkpoints (and
+			// the matching anchors of tables 4/5 dedup through the memo).
+			run = chainedRun(o, chainDefault, o.payloadSizes(), 0xbead,
+				func(int, uint64) core.Config {
+					return core.DefaultConfig()
+				}, n)
+		}
+		points = append(points, Point{Label: c.name, Run: run})
 	}
 	return &Plan{
 		Points: points,
@@ -284,14 +308,20 @@ func planTable4(o Opts) (*Plan, error) {
 	sizes := []int{64, 32, 16, 8}
 	var points []Point
 	for _, mb := range sizes {
-		points = append(points, Point{
-			Label: fmt.Sprintf("%dMB", mb),
-			Run: channelRun(func(int, uint64) core.Config {
-				cfg := core.DefaultConfig()
-				cfg.ArraySize = mb << 20
-				return cfg
-			}, n),
-		})
+		run := channelRun(func(int, uint64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.ArraySize = mb << 20
+			return cfg
+		}, n)
+		if mb<<20 == core.DefaultConfig().ArraySize {
+			// 64MB is the default: this point is the shared ladder's steady
+			// anchor (identical to table3's ECC-off point — a memo hit).
+			run = chainedRun(o, chainDefault, o.payloadSizes(), 0xbead,
+				func(int, uint64) core.Config {
+					return core.DefaultConfig()
+				}, n)
+		}
+		points = append(points, Point{Label: fmt.Sprintf("%dMB", mb), Run: run})
 	}
 	return &Plan{
 		Points: points,
@@ -323,17 +353,23 @@ func planTable5(o Opts) (*Plan, error) {
 	periods := []int{500000, 200000, 100000, 50000, 25000}
 	var points []Point
 	for _, p := range periods {
-		points = append(points, Point{
-			Label: fmt.Sprintf("period=%d", p),
-			Run: channelRun(func(int, uint64) core.Config {
-				cfg := core.DefaultConfig()
-				cfg.SyncPeriod = p
-				if cfg.SyncLead >= p {
-					cfg.SyncLead = p / 5
-				}
-				return cfg
-			}, n),
-		})
+		run := channelRun(func(int, uint64) core.Config {
+			cfg := core.DefaultConfig()
+			cfg.SyncPeriod = p
+			if cfg.SyncLead >= p {
+				cfg.SyncLead = p / 5
+			}
+			return cfg
+		}, n)
+		if p == core.DefaultConfig().SyncPeriod {
+			// The default period is the shared ladder's steady anchor
+			// (identical to table3's ECC-off point — a memo hit).
+			run = chainedRun(o, chainDefault, o.payloadSizes(), 0xbead,
+				func(int, uint64) core.Config {
+					return core.DefaultConfig()
+				}, n)
+		}
+		points = append(points, Point{Label: fmt.Sprintf("period=%d", p), Run: run})
 	}
 	return &Plan{
 		Points: points,

@@ -29,6 +29,7 @@ import (
 
 	"streamline/internal/core"
 	"streamline/internal/payload"
+	"streamline/internal/rng"
 	"streamline/internal/runner"
 	"streamline/internal/stats"
 )
@@ -174,6 +175,14 @@ type Point struct {
 type Plan struct {
 	// Points is the ordered run list.
 	Points []Point
+	// Chains declares prefix-sharing structure (see core.ChainSpec): each
+	// entry lists point indices in ascending payload order whose runs form
+	// a checkpoint chain. Execution adds a per-repetition dependency from
+	// each member on its predecessor — a member must not start before the
+	// run it forks from has published its boundary — and the sweep runs on
+	// the work-stealing segment scheduler instead of the plain pool.
+	// Results are bit-identical either way; chains only shape scheduling.
+	Chains [][]int
 	// Assemble builds the Table from the collected outputs,
 	// res[point][rep], which arrive in deterministic order.
 	Assemble func(res [][]Out) (*Table, error)
@@ -239,14 +248,19 @@ func Run(id string, o Opts) (*Table, error) {
 }
 
 // execute flattens the plan into specs, fans them out on the runner, and
-// regroups the outputs per point for Assemble.
+// regroups the outputs per point for Assemble. Plans that declare chains
+// run on the segment scheduler with per-repetition dependencies along each
+// chain; specs are point-major, so chain dependencies always point to
+// earlier indices and the serial schedule is plain spec order.
 func (plan *Plan) execute(id string, o Opts) (*Table, error) {
 	var specs []runner.Spec
+	first := make([]int, len(plan.Points))
 	for pi := range plan.Points {
 		pt := &plan.Points[pi]
 		if pt.Reps <= 0 {
 			pt.Reps = o.runs()
 		}
+		first[pi] = len(specs)
 		for r := 0; r < pt.Reps; r++ {
 			specs = append(specs, runner.Spec{
 				Experiment: id, Point: pi, Rep: r, Label: pt.Label,
@@ -257,9 +271,30 @@ func (plan *Plan) execute(id string, o Opts) (*Table, error) {
 	if o.Progress != nil {
 		hook = runner.Progress(o.Progress)
 	}
-	outs, err := runner.Execute(specs, func(s runner.Spec, seed uint64) (Out, error) {
+	run := func(s runner.Spec, seed uint64) (Out, error) {
 		return plan.Points[s.Point].Run(s.Rep, seed)
-	}, runner.Options{Root: o.Seed, Workers: o.Workers, Hook: hook})
+	}
+	ropt := runner.Options{Root: o.Seed, Workers: o.Workers, Hook: hook}
+	var outs []Out
+	var err error
+	if len(plan.Chains) > 0 {
+		deps := make([][]int, len(specs))
+		for _, chain := range plan.Chains {
+			for k := 1; k < len(chain); k++ {
+				prev, cur := chain[k-1], chain[k]
+				reps := plan.Points[cur].Reps
+				if p := plan.Points[prev].Reps; p < reps {
+					reps = p
+				}
+				for r := 0; r < reps; r++ {
+					deps[first[cur]+r] = append(deps[first[cur]+r], first[prev]+r)
+				}
+			}
+		}
+		outs, err = runner.ExecuteSegments(specs, deps, run, ropt)
+	} else {
+		outs, err = runner.Execute(specs, run, ropt)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -292,13 +327,63 @@ func channelRun(mk func(rep int, seed uint64) core.Config, bits int) func(int, u
 		if err != nil {
 			return Out{}, err
 		}
-		return Out{Metrics: []float64{
-			res.BitRateKBps,
-			res.Errors.Rate() * 100,
-			res.RawErrors.RateZeroToOne() * 100,
-			res.RawErrors.RateOneToZero() * 100,
-			float64(res.MaxGap),
-		}}, nil
+		return Out{Metrics: channelMetrics(res)}, nil
+	}
+}
+
+// channelMetrics is the standard metric vector (see the cm* indexes).
+func channelMetrics(res *core.Result) []float64 {
+	return []float64{
+		res.BitRateKBps,
+		res.Errors.Rate() * 100,
+		res.RawErrors.RateZeroToOne() * 100,
+		res.RawErrors.RateOneToZero() * 100,
+		float64(res.MaxGap),
+	}
+}
+
+// Chain tags shared across experiments. Runs carrying the same tag and
+// repetition index use one seed and one payload stream (common random
+// numbers), so members whose configs match dedup through the result memo
+// and shorter members fork from checkpoints longer members published —
+// content-addressed, regardless of which experiment ran first (see
+// internal/core reuse.go / checkpoint.go).
+const (
+	// chainDefault is the DefaultConfig payload ladder: fig9, table2's
+	// statistics points, and the DefaultConfig anchor points of tables 3-5.
+	chainDefault = "ladder-default"
+	// chainBurst is the DefaultConfig ladder over the burst-structure
+	// payload stream (table2's instrumented single-rep points).
+	chainBurst = "ladder-burst"
+)
+
+// chainSeed derives the common seed shared by every member of chain tag at
+// one repetition. The per-spec seed is deliberately unused by chained runs:
+// a fork can only extend a prefix that was simulated under the same seed.
+func chainSeed(o Opts, tag string, rep int) (key, seed uint64) {
+	key = rng.HashString("chain:" + tag)
+	seed = rng.Derive(o.Seed, key, uint64(rep))
+	return key, seed
+}
+
+// chainedRun is channelRun for prefix-sharing ladders: the run joins the
+// given chain, seeds from chainSeed instead of the per-spec seed, and draws
+// its payload from the chain's payloadTag stream — so every member's payload
+// is a prefix of the longer members' payloads, the precondition for
+// checkpoint forking (core.ChainSpec). mk must return the same config for
+// every member that is meant to share state.
+func chainedRun(o Opts, tag string, lengths []int, payloadTag uint64,
+	mk func(rep int, seed uint64) core.Config, bits int) func(int, uint64) (Out, error) {
+	return func(rep int, _ uint64) (Out, error) {
+		key, seed := chainSeed(o, tag, rep)
+		cfg := mk(rep, seed)
+		cfg.Seed = seed
+		cfg.Chain = &core.ChainSpec{Key: key, Lengths: lengths}
+		res, err := core.Run(cfg, payload.Random(seed^payloadTag, bits))
+		if err != nil {
+			return Out{}, err
+		}
+		return Out{Metrics: channelMetrics(res)}, nil
 	}
 }
 

@@ -77,6 +77,16 @@ func TestGoldenConformance(t *testing.T) {
 			if !bytes.Equal(noReuse, want) {
 				t.Errorf("reuse-off output differs from the golden — simulator reuse is leaking state\n--- got ---\n%s--- want ---\n%s", noReuse, want)
 			}
+			// Fourth axis: the mid-run checkpoint tree (chained experiments
+			// fork from published snapshots and dedup through the result
+			// memo) must also be invisible — with checkpoints disabled every
+			// chained run simulates from scratch and reproduces the bytes.
+			prevCkpt := core.SetCheckpoints(false)
+			cold := goldenOutput(t, id, 8)
+			core.SetCheckpoints(prevCkpt)
+			if !bytes.Equal(cold, want) {
+				t.Errorf("checkpoint-off output differs from the golden — checkpoint forking is changing results\n--- got ---\n%s--- want ---\n%s", cold, want)
+			}
 		})
 	}
 }

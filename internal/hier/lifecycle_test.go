@@ -220,4 +220,7 @@ func TestHierarchyFieldAudit(t *testing.T) {
 		"scratch", "rems")
 	statetest.Fields(t, Monitor{}, "cores", "window", "wins")
 	statetest.Fields(t, CounterWindow{}, "PerCore")
+	// Checkpoint holds exactly one private cloned hierarchy; a second field
+	// would mean state that RestoreInto/Materialize do not carry.
+	statetest.Fields(t, Checkpoint{}, "h")
 }

@@ -1,0 +1,30 @@
+package noise
+
+import "streamline/internal/rng"
+
+// State is a Workload's mutable position, captured for the mid-run
+// checkpoints of internal/core (see DESIGN.md "Snapshot tree"). The batch
+// address buffer is deliberately not part of the state: it is scratch that
+// every Step fully overwrites before use, so a fork that starts with an
+// empty buffer behaves identically.
+type State struct {
+	Pos      int
+	Accesses uint64
+	Rng      *rng.Xoshiro
+}
+
+// SaveState captures the workload's position. The returned State is
+// immutable from the workload's point of view (the RNG is cloned), so one
+// capture can seed any number of forks.
+func (w *Workload) SaveState() State {
+	return State{Pos: w.pos, Accesses: w.Accesses, Rng: w.x.Clone()}
+}
+
+// RestoreState rewinds the workload to a captured position. The workload
+// must have been built with the same Config, hierarchy shape, and region
+// as the one that saved the state.
+func (w *Workload) RestoreState(st State) {
+	w.pos = st.Pos
+	w.Accesses = st.Accesses
+	w.x.CopyStateFrom(st.Rng)
+}

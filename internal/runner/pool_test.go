@@ -104,5 +104,18 @@ func TestHookDoesNotInfluenceResults(t *testing.T) {
 		if !reflect.DeepEqual(got, ref) {
 			t.Fatalf("results differ for workers=%d hook=%v", opt.Workers, opt.Hook != nil)
 		}
+		// The segment scheduler honours the same contract: its extra Event
+		// fields (SegmentsDone, SegmentsStolen) are observational only.
+		deps := make([][]int, len(specs))
+		for i := 8; i < len(specs); i++ {
+			deps[i] = []int{i - 8}
+		}
+		seg, err := ExecuteSegments(specs, deps, fn, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seg, ref) {
+			t.Fatalf("segment results differ for workers=%d hook=%v", opt.Workers, opt.Hook != nil)
+		}
 	}
 }

@@ -59,6 +59,11 @@ type Event struct {
 	Elapsed time.Duration
 	// Err is the run's error, if any.
 	Err error
+	// SegmentsDone and SegmentsStolen report ExecuteSegments scheduling
+	// activity: specs completed, and how many of those a worker stole from
+	// another worker's deque. Zero under plain Execute. Informational only
+	// — like Elapsed, they never influence results.
+	SegmentsDone, SegmentsStolen int
 }
 
 // Hook observes run completions. It is called from worker goroutines but
@@ -102,7 +107,13 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 
 	if workers == 1 {
 		for i, s := range specs {
-			elapsed := stopwatch()
+			// The stopwatch (two small closures) is skipped entirely when
+			// nobody observes it: hookless serial sweeps — the bench
+			// harness's steady state — stay allocation-free here.
+			var elapsed stopfunc
+			if opt.Hook != nil {
+				elapsed = stopwatch()
+			}
 			out, err := fn(s, s.Seed(opt.Root))
 			if opt.Hook != nil {
 				opt.Hook(Event{Spec: s, Index: i, Done: i + 1, Total: n,
@@ -172,11 +183,14 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 	return results, nil
 }
 
+// stopfunc reports the elapsed wall time since its stopwatch started.
+type stopfunc func() time.Duration
+
 // stopwatch starts timing a run and returns a function reporting the
 // elapsed wall time. It is the package's only clock access, and it feeds
 // Event.Elapsed exclusively — progress display, never results (results
 // come back in spec order regardless of how long each run took).
-func stopwatch() func() time.Duration {
+func stopwatch() stopfunc {
 	start := time.Now() //detlint:allow wallclock -- informational per-run timing for Event.Elapsed; never reaches results
 	return func() time.Duration {
 		return time.Since(start) //detlint:allow wallclock -- informational per-run timing for Event.Elapsed; never reaches results
@@ -184,7 +198,10 @@ func stopwatch() func() time.Duration {
 }
 
 // Progress returns a Hook that writes one line per completed run to w,
-// with the run's label, wall time, and sweep completion count.
+// with the run's label, wall time, and sweep completion count. Sweeps
+// scheduled through ExecuteSegments additionally report work stealing:
+// once any segment has been stolen, each line carries the running count of
+// segments a worker took from another worker's deque.
 func Progress(w io.Writer) Hook {
 	return func(e Event) {
 		status := "done"
@@ -195,8 +212,12 @@ func Progress(w io.Writer) Hook {
 		if label == "" {
 			label = fmt.Sprintf("point %d", e.Spec.Point)
 		}
-		fmt.Fprintf(w, "[%d/%d] %s: %s rep %d %s (%s)\n",
+		steal := ""
+		if e.SegmentsStolen > 0 {
+			steal = fmt.Sprintf(" [%d stolen]", e.SegmentsStolen)
+		}
+		fmt.Fprintf(w, "[%d/%d] %s: %s rep %d %s (%s)%s\n",
 			e.Done, e.Total, e.Spec.Experiment, label, e.Spec.Rep, status,
-			e.Elapsed.Round(time.Millisecond))
+			e.Elapsed.Round(time.Millisecond), steal)
 	}
 }

@@ -168,6 +168,26 @@ func TestProgressHookOutput(t *testing.T) {
 			t.Fatalf("progress output missing %q:\n%s", want, out)
 		}
 	}
+	if strings.Contains(out, "stolen") {
+		t.Fatalf("plain Execute progress should not mention stealing:\n%s", out)
+	}
+}
+
+// TestProgressHookStealSuffix: the stock Progress hook surfaces segment
+// stealing once it happens, and stays silent about it before that.
+func TestProgressHookStealSuffix(t *testing.T) {
+	var buf bytes.Buffer
+	hook := Progress(&buf)
+	hook(Event{Spec: Spec{Experiment: "seg"}, Done: 3, Total: 9, SegmentsDone: 3})
+	if strings.Contains(buf.String(), "stolen") {
+		t.Fatalf("no steals yet, but output mentions stealing:\n%s", buf.String())
+	}
+	buf.Reset()
+	hook(Event{Spec: Spec{Experiment: "seg"}, Done: 7, Total: 9,
+		SegmentsDone: 7, SegmentsStolen: 2})
+	if !strings.Contains(buf.String(), "[2 stolen]") {
+		t.Fatalf("output missing steal count:\n%s", buf.String())
+	}
 }
 
 func TestEmptySweep(t *testing.T) {

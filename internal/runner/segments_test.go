@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chainDeps builds the dependency shape the experiments emit: specs in
+// point-major order, each rep of a point depending on the same rep of the
+// previous point within its chain.
+func chainDeps(points, reps int, chains [][]int) [][]int {
+	deps := make([][]int, points*reps)
+	for _, chain := range chains {
+		for k := 1; k < len(chain); k++ {
+			for r := 0; r < reps; r++ {
+				deps[chain[k]*reps+r] = []int{chain[k-1]*reps + r}
+			}
+		}
+	}
+	return deps
+}
+
+// TestSegmentsMatchExecute: with and without dependencies, at every worker
+// count, ExecuteSegments returns the same result slice as plain Execute.
+func TestSegmentsMatchExecute(t *testing.T) {
+	specs := sweep("segments", 12, 3)
+	ref, err := Execute(specs, echo, Options{Root: 42, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[string][][]int{
+		"nil-deps":  nil,
+		"one-chain": chainDeps(12, 3, [][]int{{0, 1, 2, 3}}),
+		"two-chains-and-free": chainDeps(12, 3,
+			[][]int{{0, 2, 4, 6}, {1, 3, 5}}),
+	}
+	for name, deps := range shapes {
+		for _, workers := range []int{1, 2, 3, 8} {
+			got, err := ExecuteSegments(specs, deps, func(s Spec, seed uint64) ([3]uint64, error) {
+				if (s.Point+s.Rep)%3 == 0 {
+					time.Sleep(time.Duration(s.Rep) * 100 * time.Microsecond)
+				}
+				return echo(s, seed)
+			}, Options{Root: 42, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("%s workers=%d: results differ from Execute", name, workers)
+			}
+		}
+	}
+}
+
+// TestSegmentsHonorDependencies: no spec starts before all its dependencies
+// finished, at any worker count.
+func TestSegmentsHonorDependencies(t *testing.T) {
+	const points, reps = 8, 2
+	specs := sweep("deporder", points, reps)
+	deps := chainDeps(points, reps, [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}})
+	var mu sync.Mutex
+	finished := make(map[int]bool)
+	for _, workers := range []int{2, 4, 16} {
+		mu.Lock()
+		for k := range finished {
+			delete(finished, k)
+		}
+		mu.Unlock()
+		_, err := ExecuteSegments(specs, deps, func(s Spec, seed uint64) ([3]uint64, error) {
+			idx := s.Point*reps + s.Rep
+			mu.Lock()
+			for _, d := range deps[idx] {
+				if !finished[d] {
+					mu.Unlock()
+					return [3]uint64{}, fmt.Errorf("spec %d started before dependency %d finished", idx, d)
+				}
+			}
+			mu.Unlock()
+			time.Sleep(time.Duration((s.Point*7+s.Rep*13)%5) * 50 * time.Microsecond)
+			mu.Lock()
+			finished[idx] = true
+			mu.Unlock()
+			return echo(s, seed)
+		}, Options{Root: 7, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
+// TestSegmentsRejectForwardDeps: dependencies must reference earlier specs.
+func TestSegmentsRejectForwardDeps(t *testing.T) {
+	specs := sweep("fwd", 3, 1)
+	for _, deps := range [][][]int{
+		{{1}, nil, nil}, // forward
+		{nil, {1}, nil}, // self
+		{nil, {-1}, nil},
+	} {
+		if _, err := ExecuteSegments(specs, deps, echo, Options{Workers: 1}); err == nil {
+			t.Errorf("deps %v accepted", deps)
+		}
+	}
+	if _, err := ExecuteSegments(specs, [][]int{nil}, echo, Options{Workers: 1}); err == nil {
+		t.Error("mismatched deps length accepted")
+	}
+}
+
+// TestSegmentsErrorIsLowestIndex mirrors Execute's error contract.
+func TestSegmentsErrorIsLowestIndex(t *testing.T) {
+	specs := sweep("segfail", 10, 1)
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := ExecuteSegments(specs, nil, func(s Spec, seed uint64) ([3]uint64, error) {
+			if s.Point >= 6 {
+				return [3]uint64{}, fmt.Errorf("point %d: %w", s.Point, boom)
+			}
+			return echo(s, seed)
+		}, Options{Workers: workers})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if workers == 1 && !strings.Contains(err.Error(), "point 6") {
+			t.Fatalf("serial error should be the lowest failing index: %v", err)
+		}
+	}
+}
+
+// TestSegmentsEventCounters: the hook sees monotonically complete segment
+// counts, and a skew-blocked sweep records stolen segments.
+func TestSegmentsEventCounters(t *testing.T) {
+	const points = 8
+	specs := sweep("steal", points, 1)
+	// One long chain plus independent specs: the chain pins one worker,
+	// the other worker must steal the free specs.
+	deps := chainDeps(points, 1, [][]int{{0, 1, 2, 3, 4}})
+	var events []Event
+	var calls atomic.Int64
+	_, err := ExecuteSegments(specs, deps, func(s Spec, seed uint64) ([3]uint64, error) {
+		calls.Add(1)
+		time.Sleep(200 * time.Microsecond)
+		return echo(s, seed)
+	}, Options{Workers: 2, Hook: func(e Event) {
+		events = append(events, e) // hooks are serialized by contract
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(calls.Load()) != points || len(events) != points {
+		t.Fatalf("ran %d specs, hook saw %d, want %d", calls.Load(), len(events), points)
+	}
+	last := events[len(events)-1]
+	if last.SegmentsDone != points {
+		t.Fatalf("final SegmentsDone = %d, want %d", last.SegmentsDone, points)
+	}
+	prev := 0
+	for _, e := range events {
+		if e.SegmentsDone != prev+1 {
+			t.Fatalf("SegmentsDone not monotone: %d after %d", e.SegmentsDone, prev)
+		}
+		prev = e.SegmentsDone
+		if e.SegmentsStolen < 0 || e.SegmentsStolen > e.SegmentsDone {
+			t.Fatalf("implausible SegmentsStolen %d at done %d", e.SegmentsStolen, e.SegmentsDone)
+		}
+	}
+}

@@ -165,6 +165,62 @@ func DirectionalBursts(sent, recv []byte) (zeroOne, oneZero []int) {
 	return masked(0), masked(1)
 }
 
+// BurstStats summarizes one direction's error bursts without materializing
+// the burst list: the burst count, the number of length-one bursts, and the
+// longest burst.
+type BurstStats struct {
+	Bursts, Singles, Max int
+}
+
+// SingleFraction returns the fraction of bursts of length one, 1 when there
+// are no bursts (matching SingleBitFraction on the materialized list).
+func (b BurstStats) SingleFraction() float64 {
+	if b.Bursts == 0 {
+		return 1
+	}
+	return float64(b.Singles) / float64(b.Bursts)
+}
+
+// flush closes the current run, if any, and resets it.
+func (b *BurstStats) flush(run *int) {
+	if *run == 0 {
+		return
+	}
+	b.Bursts++
+	if *run == 1 {
+		b.Singles++
+	}
+	if *run > b.Max {
+		b.Max = *run
+	}
+	*run = 0
+}
+
+// DirectionalBurstStats is DirectionalBursts reduced to the statistics the
+// channel Result reports, computed in one streaming pass: no masked copies
+// of the bit vectors, no burst lists (two payload-sized allocations per
+// channel run on the slice-based path). TestDirectionalBurstStats pins the
+// equivalence.
+func DirectionalBurstStats(sent, recv []byte) (zeroOne, oneZero BurstStats) {
+	runZO, runOZ := 0, 0
+	for i := range sent {
+		errAt := i < len(recv) && sent[i] != recv[i]
+		if errAt && sent[i] == 0 {
+			runZO++
+		} else {
+			zeroOne.flush(&runZO)
+		}
+		if errAt && sent[i] != 0 {
+			runOZ++
+		} else {
+			oneZero.flush(&runOZ)
+		}
+	}
+	zeroOne.flush(&runZO)
+	oneZero.flush(&runOZ)
+	return zeroOne, oneZero
+}
+
 // SingleBitFraction returns the fraction of error bursts of length one.
 // Returns 1 when there are no bursts (vacuously all-single-bit).
 func SingleBitFraction(bursts []int) float64 {

@@ -250,3 +250,40 @@ func TestDirectionalBurstsClean(t *testing.T) {
 		t.Fatal("clean streams produced bursts")
 	}
 }
+
+// TestDirectionalBurstStats pins the streaming statistics to the
+// slice-materializing reference on random bit vectors. recv may be longer
+// than sent but not shorter (the reference indexes recv by sent positions;
+// the channel always passes equal lengths).
+func TestDirectionalBurstStats(t *testing.T) {
+	f := func(sent, recv []byte) bool {
+		for i := range sent {
+			sent[i] &= 1
+		}
+		for i := range recv {
+			recv[i] &= 1
+		}
+		if len(sent) > len(recv) {
+			sent = sent[:len(recv)]
+		}
+		wantZO, wantOZ := DirectionalBursts(sent, recv)
+		gotZO, gotOZ := DirectionalBurstStats(sent, recv)
+		match := func(got BurstStats, want []int) bool {
+			if got.Bursts != len(want) {
+				return false
+			}
+			if got.SingleFraction() != SingleBitFraction(want) {
+				return false
+			}
+			max := 0
+			if len(want) > 0 {
+				max = want[0] // Bursts sorts descending
+			}
+			return got.Max == max
+		}
+		return match(gotZO, wantZO) && match(gotOZ, wantOZ)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package syncch
+
+// State is a Channel's mutable state, captured for the mid-run checkpoints
+// of internal/core. The address, eviction set, and tuning knobs (PollWait,
+// Confirmations) are construction-time values the fork rebuilds identically
+// from its own config, so only the counters and the in-flight hit streak
+// need to travel.
+type State struct {
+	HitStreak int
+	Signals   uint64
+	Polls     uint64
+}
+
+// SaveState captures the channel's poll/signal progress.
+func (c *Channel) SaveState() State {
+	return State{HitStreak: c.hitStreak, Signals: c.Signals, Polls: c.Polls}
+}
+
+// RestoreState rewinds the channel to a captured state. The channel must
+// have been built on the same line (same region base) as the saver.
+func (c *Channel) RestoreState(st State) {
+	c.hitStreak = st.HitStreak
+	c.Signals = st.Signals
+	c.Polls = st.Polls
+}
