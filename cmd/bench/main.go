@@ -39,6 +39,7 @@ import (
 	"streamline/internal/mem"
 	"streamline/internal/params"
 	"streamline/internal/payload"
+	"streamline/internal/resultstore"
 	"streamline/internal/runner"
 )
 
@@ -58,6 +59,20 @@ type Benchmark struct {
 	AccessPerOp int     `json:"accesses_per_op,omitempty"` // raw accesses per op (micro benches)
 }
 
+// ExpAll records a cold-then-warm `-exp all` pass through a fresh result
+// store (-expall): the cold pass simulates everything and writes back, the
+// warm pass is served from disk. The hit/miss counts attribute each pass's
+// store traffic.
+type ExpAll struct {
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	ColdHits    uint64  `json:"cold_hits"`
+	ColdMisses  uint64  `json:"cold_misses"`
+	WarmHits    uint64  `json:"warm_hits"`
+	WarmMisses  uint64  `json:"warm_misses"`
+	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
+}
+
 // Report is the BENCH_<date>.json document.
 type Report struct {
 	Schema     int         `json:"schema"`
@@ -67,6 +82,10 @@ type Report struct {
 	GOARCH     string      `json:"goarch"`
 	Scale      float64     `json:"scale"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// ExpAll is present when the report was taken with -expall. It is
+	// informational (compare ignores it): wall times of full experiment
+	// regeneration, cold versus store-served.
+	ExpAll *ExpAll `json:"exp_all,omitempty"`
 }
 
 func main() {
@@ -79,6 +98,7 @@ func main() {
 		run       = flag.String("run", "", "only run benchmarks whose name matches this regexp (for iterating; filtered reports should not be used as -baseline)")
 		count     = flag.Int("count", 1, "measure each benchmark this many times and keep the fastest (repetition damps scheduler noise)")
 		compareTo = flag.Bool("compare", false, "compare two existing reports (old.json new.json) and exit; no benchmarks run")
+		expall    = flag.Bool("expall", false, "also time a cold and a warm full `-exp all` pass through a fresh result store (minutes; recorded under exp_all)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (source of cmd/bench/default.pgo)")
 		memprof   = flag.String("memprofile", "", "write a heap profile (taken after the benchmarks, post-GC) to this path")
 	)
@@ -208,6 +228,17 @@ func main() {
 		f.Close()
 	}
 
+	if *expall {
+		ea, err := measureExpAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -expall: %v\n", err)
+			os.Exit(2)
+		}
+		rep.ExpAll = ea
+		fmt.Printf("exp-all cold %.1fs (%d misses)  warm %.1fs (%d hits)\n",
+			ea.ColdSeconds, ea.ColdMisses, ea.WarmSeconds, ea.WarmHits)
+	}
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rep.Date + ".json"
@@ -233,6 +264,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// measureExpAll regenerates every experiment twice through a fresh result
+// store — cold (simulating, writing back) then warm (served from disk) —
+// and reports the wall times and store traffic of each pass. The passes
+// use default scale and GOMAXPROCS workers: the same work `sweep -exp all
+// -store DIR` does.
+func measureExpAll() (*ExpAll, error) {
+	dir, err := os.MkdirTemp("", "bench-expall-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := resultstore.Open(dir, resultstore.Options{MaxBytes: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer core.SetStore(core.SetStore(st))
+
+	pass := func() (float64, error) {
+		start := time.Now() //detlint:allow wallclock -- report wall-time measurement on the display/reporting path; never reaches simulated results
+		for _, id := range experiments.IDs() {
+			if _, err := experiments.Run(id, experiments.Opts{Seed: 1}); err != nil {
+				return 0, fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return time.Since(start).Seconds(), nil //detlint:allow wallclock -- report wall-time measurement on the display/reporting path; never reaches simulated results
+	}
+
+	ea := &ExpAll{Workers: 0}
+	if ea.ColdSeconds, err = pass(); err != nil {
+		return nil, err
+	}
+	cold := st.Stats()
+	ea.ColdHits, ea.ColdMisses = cold.Hits, cold.Misses
+	if ea.WarmSeconds, err = pass(); err != nil {
+		return nil, err
+	}
+	warm := st.Stats()
+	ea.WarmHits, ea.WarmMisses = warm.Hits-cold.Hits, warm.Misses-cold.Misses
+	return ea, nil
 }
 
 // today stamps the report and default filename.
@@ -343,6 +415,80 @@ func suite(scale float64) []bench {
 					b.Fatal(err)
 				}
 				lastErrRate = res.Errors.Rate()
+			}
+		},
+	})
+
+	// Result-store round trips on a table2-sized channel point. store/miss
+	// runs cold with write-back (a fresh seed per op keeps every key cold),
+	// so its delta over channel/default is the keying + encode + write
+	// overhead; store/hit serves one pre-computed entry per op, which is
+	// the whole point of the store — its sim-KB/s is the warm serve rate.
+	storeBits := scaled(100_000, scale)
+	var storeMissErr float64
+	suite = append(suite, bench{
+		name:      "store/miss",
+		bitsPerOp: storeBits,
+		simErrPct: func() float64 { return storeMissErr * 100 },
+		fn: func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "bench-store-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := resultstore.Open(dir, resultstore.Options{MaxBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer core.SetStore(core.SetStore(st))
+			pay := payload.Random(1, storeBits)
+			cfg := core.DefaultConfig()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err := core.Run(cfg, pay)
+				if err != nil {
+					b.Fatal(err)
+				}
+				storeMissErr = res.Errors.Rate()
+			}
+		},
+	})
+	var storeHitErr float64
+	suite = append(suite, bench{
+		name:      "store/hit",
+		bitsPerOp: storeBits,
+		simErrPct: func() float64 { return storeHitErr * 100 },
+		fn: func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "bench-store-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := resultstore.Open(dir, resultstore.Options{MaxBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer core.SetStore(core.SetStore(st))
+			pay := payload.Random(1, storeBits)
+			cfg := core.DefaultConfig()
+			cfg.Seed = 1
+			if _, err := core.Run(cfg, pay); err != nil { // populate the entry
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg, pay)
+				if err != nil {
+					b.Fatal(err)
+				}
+				storeHitErr = res.Errors.Rate()
+			}
+			b.StopTimer()
+			if s := st.Stats(); s.Hits < uint64(b.N) {
+				b.Fatalf("store served %d of %d ops; the hit benchmark is simulating", s.Hits, b.N)
 			}
 		},
 	})

@@ -1,0 +1,79 @@
+// Command streamlined serves experiment runs over HTTP, backed by the
+// on-disk result store: a job whose every point was computed before — by
+// an earlier job, an earlier daemon, or a local sweep sharing the store
+// directory — is answered from disk without checking out a simulator.
+//
+// Quickstart:
+//
+//	streamlined -listen :8080 -store ~/.streamline/store
+//	curl -X POST localhost:8080/jobs -d '{"exp":"table1","seed":1,"quick":true}'
+//	curl localhost:8080/jobs/job-1/progress   # tails the run; EOF = done
+//	curl localhost:8080/jobs/job-1            # result table as JSON
+//	curl localhost:8080/store/stats
+//
+// Or from the sweep client: sweep -exp table1 -remote http://localhost:8080.
+//
+// Jobs queue FIFO into a bounded queue (-queue, 503 when full) and run on
+// -jobs concurrent workers. SIGINT/SIGTERM drains: in-flight and queued
+// jobs finish, new submits are refused, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"streamline/internal/resultstore"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8080", "address to serve HTTP on")
+		storeDir = flag.String("store", "", "result-store directory (required)")
+		maxBytes = flag.Int64("store-max-bytes", 0, "store size budget in bytes (0 = 2 GiB default, negative = unbounded)")
+		queueCap = flag.Int("queue", 64, "job queue capacity; submits beyond it get 503")
+		jobs     = flag.Int("jobs", 1, "jobs run concurrently (each job still fans its runs across its own worker pool)")
+	)
+	flag.Parse()
+
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: streamlined -listen :8080 -store DIR")
+		os.Exit(2)
+	}
+	st, err := resultstore.Open(*storeDir, resultstore.Options{
+		MaxBytes: *maxBytes,
+		Log:      func(format string, args ...any) { fmt.Fprintf(os.Stderr, "streamlined: store: "+format+"\n", args...) },
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamlined: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := newServer(st, *queueCap, *jobs)
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "streamlined: draining (queued jobs finish; new submits get 503)")
+		// Stop accepting connections first, then let the queue run dry.
+		// Shutdown without a deadline: progress streams close when their
+		// jobs finish, which the drain below guarantees.
+		httpSrv.Shutdown(context.Background())
+	}()
+
+	fmt.Fprintf(os.Stderr, "streamlined: serving on %s (store %s)\n", *listen, st.Dir())
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "streamlined: %v\n", err)
+		os.Exit(1)
+	}
+	srv.drain()
+	s := st.Stats()
+	fmt.Fprintf(os.Stderr, "streamlined: drained; store: %d entries, %d hits, %d misses\n",
+		s.Entries, s.Hits, s.Misses)
+}

@@ -1,0 +1,308 @@
+// The daemon's HTTP surface and job machinery, separated from main so the
+// end-to-end test can drive a server instance without a process or a
+// network listener it does not control.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"streamline/internal/core"
+	"streamline/internal/experiments"
+	"streamline/internal/resultstore"
+)
+
+// jobRequest is the POST /jobs body. Zero values mean the sweep defaults:
+// seed 1, three repetitions, standard payload scale, GOMAXPROCS workers.
+type jobRequest struct {
+	// Exp is a single experiment id (see sweep -list); clients expand
+	// "all" into one job per id so the queue stays per-experiment FIFO.
+	Exp     string `json:"exp"`
+	Seed    uint64 `json:"seed"`
+	Runs    int    `json:"runs"`
+	Quick   bool   `json:"quick"`
+	Full    bool   `json:"full"`
+	Workers int    `json:"workers"`
+}
+
+// jobStatus is the GET /jobs/{id} body.
+type jobStatus struct {
+	ID       string             `json:"id"`
+	Req      jobRequest         `json:"req"`
+	State    string             `json:"state"` // queued | running | done | failed
+	Progress []string           `json:"progress,omitempty"`
+	Table    *experiments.Table `json:"table,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// storeStats is the GET /store/stats body: the on-disk store's counters
+// plus the process-wide run counters, which together show how much of the
+// daemon's work was served versus simulated.
+type storeStats struct {
+	Dir   string            `json:"dir,omitempty"`
+	Store resultstore.Stats `json:"store"`
+	Run   core.RunCounters  `json:"run"`
+}
+
+// job is one queued experiment run. Its Write method is the progress sink
+// handed to experiments.Opts.Progress, so the runner's per-run hook lines
+// stream straight into the job's line buffer; streamProgress replays and
+// follows that buffer over HTTP.
+type job struct {
+	id  string
+	req jobRequest
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   string
+	lines   []string
+	partial []byte
+	table   *experiments.Table
+	errMsg  string
+}
+
+func newJob(id string, req jobRequest) *job {
+	j := &job{id: id, req: req, state: "queued"}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Write appends newline-delimited progress output; partial lines are held
+// back until their newline arrives so stream consumers only ever see whole
+// lines. Called from the runner's hook goroutine (hooks are serialized).
+func (j *job) Write(p []byte) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.partial = append(j.partial, p...)
+	for {
+		i := bytes.IndexByte(j.partial, '\n')
+		if i < 0 {
+			break
+		}
+		j.lines = append(j.lines, string(j.partial[:i+1]))
+		j.partial = j.partial[i+1:]
+	}
+	j.cond.Broadcast()
+	return len(p), nil
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+func (j *job) finish(tab *experiments.Table, err error) {
+	j.mu.Lock()
+	if len(j.partial) > 0 {
+		j.lines = append(j.lines, string(j.partial)+"\n")
+		j.partial = nil
+	}
+	if err != nil {
+		j.state = "failed"
+		j.errMsg = err.Error()
+	} else {
+		j.state = "done"
+		j.table = tab
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID:       j.id,
+		Req:      j.req,
+		State:    j.state,
+		Progress: append([]string(nil), j.lines...),
+		Table:    j.table,
+		Error:    j.errMsg,
+	}
+}
+
+// server owns the job queue and registry. Jobs run FIFO on a fixed pool of
+// worker goroutines; the queue is bounded, and a full queue rejects the
+// submit with 503 rather than buffering without limit.
+type server struct {
+	store *resultstore.Store
+	queue chan *job
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID int
+	closed bool
+}
+
+// newServer starts workers goroutines draining a queueCap-bounded FIFO.
+// store may be nil (jobs then always simulate). Call drain to stop.
+func newServer(store *resultstore.Store, queueCap, workers int) *server {
+	if queueCap < 1 {
+		queueCap = 64
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &server{
+		store: store,
+		queue: make(chan *job, queueCap),
+		jobs:  make(map[string]*job),
+	}
+	core.SetStore(store)
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+func (s *server) runJob(j *job) {
+	j.setState("running")
+	opts := experiments.Opts{
+		Seed:     j.req.Seed,
+		Runs:     j.req.Runs,
+		Quick:    j.req.Quick,
+		Full:     j.req.Full,
+		Workers:  j.req.Workers,
+		Progress: j,
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	tab, err := experiments.Run(j.req.Exp, opts)
+	j.finish(tab, err)
+}
+
+// drain stops accepting new jobs, lets queued and running jobs finish,
+// and returns. Submits during or after the drain get 503.
+func (s *server) drain() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	close(s.queue)
+	s.wg.Wait()
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /store/stats", s.handleStoreStats)
+	return mux
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if !experiments.Known(req.Exp) {
+		http.Error(w, fmt.Sprintf("unknown experiment %q", req.Exp), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%d", s.nextID), req)
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		http.Error(w, "queue full", http.StatusServiceUnavailable)
+		return
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(jobStatus{ID: j.id, Req: req, State: "queued"})
+}
+
+func (s *server) job(r *http.Request) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[r.PathValue("id")]
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r)
+	if j == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.status())
+}
+
+// handleProgress streams the job's progress lines as plain text, flushing
+// each line as it lands, and closes when the job finishes — a client can
+// tail a run and treat EOF as "result is ready".
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r)
+	if j == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		j.mu.Lock()
+		for sent == len(j.lines) && j.state != "done" && j.state != "failed" {
+			j.cond.Wait()
+		}
+		pending := j.lines[sent:]
+		sent = len(j.lines)
+		finished := j.state == "done" || j.state == "failed"
+		j.mu.Unlock()
+		for _, line := range pending {
+			if _, err := fmt.Fprint(w, line); err != nil {
+				return
+			}
+		}
+		if flusher != nil && len(pending) > 0 {
+			flusher.Flush()
+		}
+		if finished {
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+func (s *server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	var st storeStats
+	if s.store != nil {
+		st.Dir = s.store.Dir()
+		st.Store = s.store.Stats()
+	}
+	st.Run = core.ReadRunCounters()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"streamline/internal/core"
+	"streamline/internal/resultstore"
+)
+
+// The end-to-end contract of the daemon: a job submitted over HTTP runs to
+// completion with streamed progress; resubmitting the identical job is
+// answered from the result store — the hit counter moves and no simulator
+// is checked out.
+func TestDaemonEndToEnd(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevStore := core.ActiveStore()
+	srv := newServer(st, 4, 1)
+	defer func() {
+		srv.drain()
+		core.SetStore(prevStore)
+	}()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	const body = `{"exp":"ablation-ratelimit","seed":7,"quick":true,"workers":2}`
+	submit := func() string {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+		}
+		var js jobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+			t.Fatal(err)
+		}
+		if js.ID == "" || js.State != "queued" {
+			t.Fatalf("submit: unexpected ack %+v", js)
+		}
+		return js.ID
+	}
+	// tail blocks on the progress stream until the job finishes (EOF) and
+	// returns everything streamed.
+	tail := func(id string) string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/progress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	status := func(id string) jobStatus {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var js jobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+
+	id1 := submit()
+	progress := tail(id1)
+	if !strings.Contains(progress, "ablation-ratelimit") || !strings.Contains(progress, "done") {
+		t.Errorf("progress stream missing runner hook lines:\n%s", progress)
+	}
+	cold := status(id1)
+	if cold.State != "done" || cold.Table == nil || cold.Table.ID != "ablation-ratelimit" {
+		t.Fatalf("cold job did not finish with a table: %+v", cold)
+	}
+
+	simsAfterCold := core.ReadRunCounters().Sims
+	hitsAfterCold := st.Stats().Hits
+	if simsAfterCold == 0 {
+		t.Fatal("cold job checked out no simulator — the test is not exercising the serve path")
+	}
+
+	id2 := submit()
+	if id2 == id1 {
+		t.Fatalf("job ids must be unique, got %s twice", id1)
+	}
+	if warmProgress := tail(id2); !strings.Contains(warmProgress, "[hit]") {
+		t.Errorf("warm progress lines should mark served runs with [hit]:\n%s", warmProgress)
+	}
+	warm := status(id2)
+	if warm.State != "done" {
+		t.Fatalf("warm job state %q, error %q", warm.State, warm.Error)
+	}
+	if !reflect.DeepEqual(warm.Table, cold.Table) {
+		t.Errorf("warm table differs from cold table\nwarm %+v\ncold %+v", warm.Table, cold.Table)
+	}
+	if got := core.ReadRunCounters().Sims; got != simsAfterCold {
+		t.Errorf("warm job checked out %d simulators; identical resubmits must be served from the store", got-simsAfterCold)
+	}
+	if got := st.Stats().Hits; got <= hitsAfterCold {
+		t.Errorf("store hits did not move on resubmit: %d -> %d", hitsAfterCold, got)
+	}
+
+	// The stats endpoint reflects the same counters.
+	resp, err := http.Get(ts.URL + "/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats storeStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Store != st.Stats() {
+		t.Errorf("/store/stats store counters %+v != %+v", stats.Store, st.Stats())
+	}
+	if stats.Run.Sims != simsAfterCold {
+		t.Errorf("/store/stats run counters %+v; want Sims %d", stats.Run, simsAfterCold)
+	}
+	if stats.Dir != st.Dir() {
+		t.Errorf("/store/stats dir %q != %q", stats.Dir, st.Dir())
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	srv := newServer(nil, 1, 1)
+	defer srv.drain()
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"exp":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown experiment: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDaemonDrainRefusesSubmits(t *testing.T) {
+	srv := newServer(nil, 1, 1)
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	srv.drain()
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"exp":"table1","quick":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain: status %d, want 503", resp.StatusCode)
+	}
+}

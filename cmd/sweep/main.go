@@ -23,7 +23,9 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"streamline/internal/core"
 	"streamline/internal/experiments"
+	"streamline/internal/resultstore"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress and timing lines")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		workers    = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+		storeDir   = flag.String("store", "", "result-store directory: serve repeated runs from disk instead of simulating (progress marks them [hit])")
+		remote     = flag.String("remote", "", "streamlined daemon URL (e.g. http://localhost:8080): run experiments there instead of locally")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (taken after the sweep) to this file")
 	)
@@ -89,9 +93,31 @@ func main() {
 		}()
 	}
 
+	if *remote != "" && *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "sweep: -store and -remote are mutually exclusive (the daemon owns its own store)")
+		os.Exit(2)
+	}
+
 	prog := newProgress(os.Stderr, *quiet)
 	opts := experiments.Opts{Seed: *seed, Runs: *runs, Full: *full, Quick: *quick, Workers: *workers}
 	opts.Progress = prog.runWriter()
+
+	// With -store, every run is checked against the on-disk result store
+	// before a simulator is checked out; warm repeats of a sweep complete
+	// in seconds. Progress lines mark served runs [hit] (suppressed, like
+	// all progress, by -quiet).
+	var store *resultstore.Store
+	if *storeDir != "" {
+		st, err := resultstore.Open(*storeDir, resultstore.Options{
+			Log: func(format string, args ...any) { fmt.Fprintf(os.Stderr, "sweep: store: "+format+"\n", args...) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		store = st
+		core.SetStore(st)
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -99,7 +125,15 @@ func main() {
 	}
 	for _, id := range ids {
 		done := prog.begin(id)
-		tab, err := experiments.Run(id, opts)
+		var tab *experiments.Table
+		var err error
+		if *remote != "" {
+			tab, err = runRemote(*remote, remoteJob{
+				Exp: id, Seed: *seed, Runs: *runs, Quick: *quick, Full: *full, Workers: *workers,
+			}, prog.runWriter())
+		} else {
+			tab, err = experiments.Run(id, opts)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
@@ -113,6 +147,11 @@ func main() {
 	}
 	if *exp == "all" {
 		prog.total("all experiments")
+	}
+	if store != nil && !*quiet {
+		s := store.Stats()
+		fmt.Fprintf(os.Stderr, "[store: %d hits, %d misses, %d entries, %.1f MB]\n",
+			s.Hits, s.Misses, s.Entries, float64(s.Bytes)/1e6)
 	}
 }
 

@@ -1,0 +1,100 @@
+// The -remote client: instead of simulating locally, each experiment is
+// submitted to a streamlined daemon (cmd/streamlined), its progress stream
+// is tailed to stderr, and the finished table is fetched and formatted
+// exactly as a local run would be. The daemon's shared result store means
+// a sweep anyone ran before comes back in seconds.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"streamline/internal/experiments"
+)
+
+// remoteJob mirrors the daemon's jobRequest body.
+type remoteJob struct {
+	Exp     string `json:"exp"`
+	Seed    uint64 `json:"seed"`
+	Runs    int    `json:"runs"`
+	Quick   bool   `json:"quick"`
+	Full    bool   `json:"full"`
+	Workers int    `json:"workers"`
+}
+
+// remoteStatus mirrors the daemon's jobStatus body (the fields the client
+// consumes).
+type remoteStatus struct {
+	ID    string             `json:"id"`
+	State string             `json:"state"`
+	Table *experiments.Table `json:"table"`
+	Error string             `json:"error"`
+}
+
+// runRemote executes one experiment on the daemon at base and returns its
+// table. Progress (the daemon's runner-hook lines, including [hit]/[miss]
+// markers) streams to prog's writer as it happens; the stream's EOF is the
+// completion signal, so the client never polls.
+func runRemote(base string, job remoteJob, prog io.Writer) (*experiments.Table, error) {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(job)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", base, err)
+	}
+	ack, err := decodeRemote(resp, http.StatusAccepted)
+	if err != nil {
+		return nil, fmt.Errorf("submit %s: %w", job.Exp, err)
+	}
+
+	stream, err := http.Get(base + "/jobs/" + ack.ID + "/progress")
+	if err != nil {
+		return nil, fmt.Errorf("stream %s: %w", ack.ID, err)
+	}
+	if prog == nil {
+		prog = io.Discard
+	}
+	_, copyErr := io.Copy(prog, stream.Body)
+	stream.Body.Close()
+	if copyErr != nil {
+		return nil, fmt.Errorf("stream %s: %w", ack.ID, copyErr)
+	}
+
+	resp, err = http.Get(base + "/jobs/" + ack.ID)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", ack.ID, err)
+	}
+	st, err := decodeRemote(resp, http.StatusOK)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w", ack.ID, err)
+	}
+	switch {
+	case st.State == "failed":
+		return nil, fmt.Errorf("%s failed remotely: %s", job.Exp, st.Error)
+	case st.Table == nil:
+		return nil, fmt.Errorf("%s finished in state %q without a table", job.Exp, st.State)
+	}
+	return st.Table, nil
+}
+
+// decodeRemote checks the response status and decodes the job body.
+func decodeRemote(resp *http.Response, want int) (remoteStatus, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return remoteStatus{}, fmt.Errorf("daemon returned %s: %s",
+			resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var st remoteStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return remoteStatus{}, err
+	}
+	return st, nil
+}

@@ -121,6 +121,16 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 			return res, nil
 		}
 	}
+	// Durable result store (store.go): a bit-identical run completed by any
+	// earlier process is served as a disk read, before any simulator is
+	// checked out. A hit also primes the chain memo for this run's siblings.
+	served, sKey, storable := storeLookup(&cfg, payloadBits)
+	if served != nil {
+		if chain != nil {
+			memoStore(chain.memoKey, served)
+		}
+		return served, nil
+	}
 	var lease *simLease
 	var fork *chainCheckpoint
 	if chain != nil {
@@ -139,6 +149,7 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 			return nil, err
 		}
 	}
+	runCounters.sims.Add(1)
 	// The hierarchy goes back to the idle pool when the run finishes (after
 	// the Result has deep-copied everything it reports); every checkout
 	// resets or overwrites the state before reuse, so error paths may
@@ -330,6 +341,9 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		// A chain run's Result is a pure function of (chain fingerprint,
 		// payload): park a copy so bit-identical siblings skip simulation.
 		memoStore(chain.memoKey, res)
+	}
+	if storable {
+		storeWriteBack(sKey, res)
 	}
 	return res, nil
 }

@@ -1,0 +1,450 @@
+// Durable result serving (see DESIGN.md §9 "Result store"). Run consults a
+// process-wide resultstore.Store before checking out a simulator: a Result
+// computed once under a content key — machine fingerprint × every
+// simulation-steering Config field × the full payload — is thereafter served
+// as a disk read. The in-RAM chain memo (reuse.go) already proved the keying
+// discipline; this layer makes it durable across processes and shares it
+// between experiments, CI runs, and daemon jobs.
+//
+// Legality is the same rule the memo uses, made explicit: a key must cover
+// everything that can steer the simulation, so two runs with equal keys are
+// bit-identical by construction and serving one for the other is
+// unobservable. Configurations carrying caller-supplied behaviour the key
+// cannot canonicalize (an LLCPolicy or Pattern interface) bypass the store.
+// Config.Chain is deliberately excluded from the key: it is a pure
+// scheduling optimization, pinned bit-identical by the golden suite's
+// checkpoint-off axis, so chained and unchained runs share entries.
+//
+// The serialized form is a hand-rolled versioned binary codec, not gob:
+// served Results must DeepEqual freshly simulated ones exactly, including
+// the nil-vs-empty distinction on every slice (the same contract
+// cloneResult documents for the memo).
+
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"streamline/internal/hier"
+	"streamline/internal/resultstore"
+	"streamline/internal/stats"
+)
+
+// activeStore is the process-wide store handle; nil (the default) disables
+// durable serving entirely and Run behaves exactly as before.
+var activeStore atomic.Pointer[resultstore.Store]
+
+// SetStore installs (or, with nil, removes) the process-wide result store
+// consulted by Run and returns the previous handle. The store is a pure
+// read-through/write-back cache: results are bit-identical with it nil.
+func SetStore(s *resultstore.Store) *resultstore.Store {
+	return activeStore.Swap(s)
+}
+
+// ActiveStore returns the store installed by SetStore, or nil. Higher
+// layers (internal/experiments) use the same handle to memoize results
+// whose runs do not flow through core.Run, and to report hit/miss counts.
+func ActiveStore() *resultstore.Store { return activeStore.Load() }
+
+// runCounters tracks process-wide Run outcomes for display and tests; like
+// chainCounters it never influences simulation. sims counts runs that
+// checked a simulator out of the pool (i.e. actually simulated), storeHits
+// runs served from the durable store, storeMisses store lookups that fell
+// through to simulation.
+var runCounters struct {
+	sims, storeHits, storeMisses atomic.Uint64
+}
+
+// RunCounters is a monotonic snapshot of Run activity.
+type RunCounters struct {
+	// Sims counts runs that acquired a simulator (cold or forked);
+	// StoreHits runs served entirely from the durable store; StoreMisses
+	// store lookups that missed and fell through to simulation.
+	Sims, StoreHits, StoreMisses uint64
+}
+
+// ReadRunCounters returns the current process-wide Run activity.
+func ReadRunCounters() RunCounters {
+	return RunCounters{
+		Sims:        runCounters.sims.Load(),
+		StoreHits:   runCounters.storeHits.Load(),
+		StoreMisses: runCounters.storeMisses.Load(),
+	}
+}
+
+// storeKeySchema versions the canonical key encoding AND the Result codec
+// below: any change to either — a field added to the encoding, a codec
+// layout change — must bump it, which retires every old entry by changing
+// its key rather than risking a misdecode.
+const storeKeySchema = "streamline-core-result-v1"
+
+// storeKey derives the content address for one Run: an explicit
+// field-by-field canonical encoding of everything that steers the
+// simulation, hashed to 128 bits. Returns ok=false for configurations the
+// key cannot canonicalize (caller-supplied Pattern or LLCPolicy
+// interfaces), which bypass the store.
+//
+// The encoding is exhaustive by audit, not by reflection: the
+// key-sensitivity test (store_test.go) mutates every Config field — and
+// every field of the pointed-to DRAM/Quota/Noise sub-configs — and asserts
+// the key moves, so a field this function misses fails CI rather than
+// silently aliasing distinct runs. Machine is folded via its own audited
+// Fingerprint. Chain is the one documented exception (see package comment).
+// HugePages is covered directly; the TLB model it selects is a pure
+// function of it.
+func storeKey(cfg *Config, payloadBits []byte) (resultstore.Key, bool) {
+	if cfg.Pattern != nil || cfg.LLCPolicy != nil {
+		return resultstore.Key{}, false
+	}
+	e := newEnc(64 + len(payloadBits))
+	e.str(storeKeySchema)
+	e.u64(cfg.Machine.Fingerprint())
+	e.i(cfg.ArraySize)
+	e.u64(cfg.Seed)
+	e.u64(cfg.KeySeed)
+	e.bool(cfg.Modulate)
+	e.i(cfg.TrailingLag)
+	e.bool(cfg.RateLimitSender)
+	e.i(cfg.SyncPeriod)
+	e.i(cfg.SyncLead)
+	e.i(cfg.DelayedStartBits)
+	e.bool(cfg.ECC)
+	e.i(cfg.PreambleBits)
+	e.i(cfg.SenderCore)
+	e.i(cfg.ReceiverCore)
+	e.bool(cfg.SameCore)
+	e.i(cfg.ThresholdOverride)
+	e.bool(cfg.DisablePrefetch)
+	e.bool(cfg.DRAM != nil)
+	if d := cfg.DRAM; d != nil {
+		e.i(d.Banks)
+		e.i(d.RowBytes)
+		e.i(d.RowHit)
+		e.i(d.RowMiss)
+		e.i(d.RowConflict)
+		e.i(d.JitterSD)
+		e.i(d.BankBusy)
+		e.i(d.ChannelBusy)
+		e.i(d.RowCloseCycles)
+		e.f64(d.FastTailProb)
+		e.i(d.FastTailLat)
+		e.i(d.MinLatency)
+	}
+	e.bool(cfg.TraceLevels)
+	e.bool(cfg.OSJitter)
+	e.i(cfg.WarmupBytes)
+	e.bool(cfg.HugePages)
+	e.bool(cfg.SystemNoise)
+	e.i(len(cfg.Noise))
+	for _, nc := range cfg.Noise {
+		e.str(nc.Name)
+		e.i(int(nc.Shape))
+		e.i(nc.Footprint)
+		e.i(nc.ComputeGap)
+		e.i(nc.Stride)
+		e.i(nc.Parallel)
+	}
+	e.i(cfg.GapSampleEvery)
+	e.i(cfg.CamouflageAccesses)
+	e.i(cfg.PartitionWays)
+	e.f64(cfg.RandomFillProb)
+	e.bool(cfg.Quota != nil)
+	if q := cfg.Quota; q != nil {
+		e.i(len(q.DomainWays))
+		for _, w := range q.DomainWays {
+			e.i(w)
+		}
+		e.i(q.MinWays)
+		e.i(q.RebalancePeriod)
+		e.bool(q.CopyOnAccess)
+	}
+	e.u64(cfg.CounterWindow)
+	e.i(cfg.GapClamp)
+	// Chain: excluded by design; see package comment.
+	e.bytes(payloadBits)
+	return resultstore.KeyOf(e.b), true
+}
+
+// storeLookup consults the durable store for cfg × payload. On a hit it
+// returns the decoded Result; otherwise it returns the key for the caller's
+// write-back. ok=false means the config is store-ineligible (no write-back
+// either).
+func storeLookup(cfg *Config, payloadBits []byte) (res *Result, key resultstore.Key, ok bool) {
+	st := activeStore.Load()
+	if st == nil {
+		return nil, key, false
+	}
+	key, ok = storeKey(cfg, payloadBits)
+	if !ok {
+		return nil, key, false
+	}
+	if raw, hit := st.Get(key); hit {
+		if r, err := decodeResult(raw); err == nil {
+			runCounters.storeHits.Add(1)
+			return r, key, true
+		}
+		// Envelope-valid but undecodable: a codec change without a schema
+		// bump. Unreachable by construction (the schema tag is in the key);
+		// treated as a miss so the rewrite below heals the entry.
+	}
+	runCounters.storeMisses.Add(1)
+	return nil, key, true
+}
+
+// storeWriteBack parks a completed Result under key. Best-effort: the write
+// is an optimization for later readers.
+func storeWriteBack(key resultstore.Key, res *Result) {
+	if st := activeStore.Load(); st != nil {
+		st.Put(key, encodeResult(res))
+	}
+}
+
+// --- Result codec ---------------------------------------------------------
+
+// encodeResult serializes a Result into the store payload form decodeResult
+// reverses. Field order is fixed; slices carry an explicit nil flag so a
+// decoded Result DeepEquals the original exactly. The statetest audit in
+// store_test.go pins the field list: a new Result field fails the audit
+// until it is added here, to decodeResult, and the schema tag is bumped.
+func encodeResult(r *Result) []byte {
+	e := newEnc(256 + len(r.Decoded) + len(r.LevelTrace))
+	e.i(r.PayloadBits)
+	e.i(r.ChannelBits)
+	e.u64(r.Cycles)
+	e.f64(r.BitRateKBps)
+	e.f64(r.ChannelKBps)
+	e.breakdown(&r.Errors)
+	e.breakdown(&r.RawErrors)
+	e.i(r.ECCStats.Packets)
+	e.i(r.ECCStats.Corrected)
+	e.i(r.ECCStats.Detected)
+	e.i64(r.MaxGap)
+	e.sliceHdr(len(r.GapSamples), r.GapSamples == nil)
+	for _, g := range r.GapSamples {
+		e.i64(g.Bits)
+		e.i64(g.Gap)
+	}
+	e.u64(r.SyncWaits)
+	e.u64(r.SyncTimeouts)
+	e.nilableBytes(r.Decoded)
+	for _, v := range r.ReceiverLevels {
+		e.u64(v)
+	}
+	e.sliceHdr(len(r.CoreServed), r.CoreServed == nil)
+	for _, c := range r.CoreServed {
+		for _, v := range c {
+			e.u64(v)
+		}
+	}
+	e.f64(r.BurstSingleFrac01)
+	e.f64(r.BurstSingleFrac10)
+	e.i(r.MaxBurst01)
+	e.nilableBytes(r.LevelTrace)
+	e.sliceHdr(len(r.Counters), r.Counters == nil)
+	for _, w := range r.Counters {
+		e.sliceHdr(len(w.PerCore), w.PerCore == nil)
+		for _, c := range w.PerCore {
+			for _, v := range c {
+				e.u64(v)
+			}
+		}
+	}
+	return e.b
+}
+
+// decodeResult reverses encodeResult, validating every length against the
+// remaining input; any structural mismatch returns an error and the caller
+// re-simulates.
+func decodeResult(raw []byte) (*Result, error) {
+	d := &dec{b: raw}
+	r := &Result{}
+	r.PayloadBits = d.i()
+	r.ChannelBits = d.i()
+	r.Cycles = d.u64()
+	r.BitRateKBps = d.f64()
+	r.ChannelKBps = d.f64()
+	d.breakdown(&r.Errors)
+	d.breakdown(&r.RawErrors)
+	r.ECCStats.Packets = d.i()
+	r.ECCStats.Corrected = d.i()
+	r.ECCStats.Detected = d.i()
+	r.MaxGap = d.i64()
+	if n, isNil := d.sliceHdr(16); !isNil {
+		r.GapSamples = make([]GapSample, n)
+		for i := range r.GapSamples {
+			r.GapSamples[i].Bits = d.i64()
+			r.GapSamples[i].Gap = d.i64()
+		}
+	}
+	r.SyncWaits = d.u64()
+	r.SyncTimeouts = d.u64()
+	r.Decoded = d.nilableBytes()
+	for i := range r.ReceiverLevels {
+		r.ReceiverLevels[i] = d.u64()
+	}
+	if n, isNil := d.sliceHdr(32); !isNil {
+		r.CoreServed = make([][4]uint64, n)
+		for i := range r.CoreServed {
+			for j := range r.CoreServed[i] {
+				r.CoreServed[i][j] = d.u64()
+			}
+		}
+	}
+	r.BurstSingleFrac01 = d.f64()
+	r.BurstSingleFrac10 = d.f64()
+	r.MaxBurst01 = d.i()
+	r.LevelTrace = d.nilableBytes()
+	if n, isNil := d.sliceHdr(1); !isNil {
+		r.Counters = make([]hier.CounterWindow, n)
+		for i := range r.Counters {
+			if m, innerNil := d.sliceHdr(32); !innerNil {
+				r.Counters[i].PerCore = make([][4]uint64, m)
+				for j := range r.Counters[i].PerCore {
+					for k := range r.Counters[i].PerCore[j] {
+						r.Counters[i].PerCore[j][k] = d.u64()
+					}
+				}
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != d.off {
+		return nil, fmt.Errorf("core: result codec: %d trailing bytes", len(d.b)-d.off)
+	}
+	return r, nil
+}
+
+// enc is a little-endian append-only encoder shared by the key derivation
+// and the Result codec.
+type enc struct{ b []byte }
+
+func newEnc(capHint int) *enc { return &enc{b: make([]byte, 0, capHint)} }
+
+func (e *enc) u64(v uint64) {
+	e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (e *enc) i(v int)       { e.u64(uint64(int64(v))) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *enc) str(s string) {
+	e.i(len(s))
+	e.b = append(e.b, s...)
+}
+func (e *enc) bytes(p []byte) {
+	e.i(len(p))
+	e.b = append(e.b, p...)
+}
+
+// sliceHdr writes a slice's nil flag and length (nil and empty are distinct
+// on the wire, as they must round-trip distinctly).
+func (e *enc) sliceHdr(n int, isNil bool) {
+	e.bool(isNil)
+	e.i(n)
+}
+
+func (e *enc) nilableBytes(p []byte) {
+	e.sliceHdr(len(p), p == nil)
+	e.b = append(e.b, p...)
+}
+
+func (e *enc) breakdown(b *stats.ErrorBreakdown) {
+	e.i(b.Total)
+	e.i(b.Errors)
+	e.i(b.ZeroToOne)
+	e.i(b.OneToZero)
+}
+
+// dec is the matching bounds-checked decoder. After the first error every
+// read returns zero values; the caller checks err once at the end.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: result codec: "+format, args...)
+	}
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("truncated at offset %d", d.off)
+		return 0
+	}
+	p := d.b[d.off:]
+	d.off += 8
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+func (d *dec) i() int       { return int(int64(d.u64())) }
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated at offset %d", d.off)
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	if v > 1 {
+		d.fail("bad bool %d at offset %d", v, d.off-1)
+	}
+	return v == 1
+}
+
+// sliceHdr reads a slice header and sanity-bounds the element count against
+// the remaining bytes (elemSize is a per-element floor), so a corrupt length
+// cannot drive a huge allocation.
+func (d *dec) sliceHdr(elemSize int) (n int, isNil bool) {
+	isNil = d.bool()
+	n = d.i()
+	if d.err != nil {
+		return 0, true
+	}
+	if n < 0 || (isNil && n != 0) || (elemSize > 0 && n > (len(d.b)-d.off)/elemSize+1) {
+		d.fail("implausible slice length %d at offset %d", n, d.off)
+		return 0, true
+	}
+	return n, isNil
+}
+
+func (d *dec) nilableBytes() []byte {
+	n, isNil := d.sliceHdr(1)
+	if isNil || d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.b) {
+		d.fail("truncated bytes at offset %d", d.off)
+		return nil
+	}
+	p := append([]byte{}, d.b[d.off:d.off+n]...)
+	d.off += n
+	return p
+}
+
+func (d *dec) breakdown(b *stats.ErrorBreakdown) {
+	b.Total = d.i()
+	b.Errors = d.i()
+	b.ZeroToOne = d.i()
+	b.OneToZero = d.i()
+}

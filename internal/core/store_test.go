@@ -1,0 +1,429 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"streamline/internal/cache"
+	"streamline/internal/dram"
+	"streamline/internal/ecc"
+	"streamline/internal/hier"
+	"streamline/internal/noise"
+	"streamline/internal/params"
+	"streamline/internal/payload"
+	"streamline/internal/resultstore"
+	"streamline/internal/statetest"
+	"streamline/internal/stats"
+)
+
+// fullResult returns a Result with every field populated (non-zero, non-nil)
+// so a codec that drops a field cannot round-trip it.
+func fullResult() *Result {
+	return &Result{
+		PayloadBits: 4000, ChannelBits: 4500, Cycles: 987654,
+		BitRateKBps: 391.25, ChannelKBps: 440.5,
+		Errors:    stats.ErrorBreakdown{Total: 4000, Errors: 7, ZeroToOne: 3, OneToZero: 4},
+		RawErrors: stats.ErrorBreakdown{Total: 4500, Errors: 12, ZeroToOne: 5, OneToZero: 7},
+		ECCStats:  ecc.Result{Packets: 62, Corrected: 3, Detected: 1},
+		MaxGap:    1234,
+		GapSamples: []GapSample{
+			{Bits: 1000, Gap: 800}, {Bits: 2000, Gap: -5},
+		},
+		SyncWaits: 3, SyncTimeouts: 1,
+		Decoded:           []byte{1, 0, 1, 1, 0},
+		ReceiverLevels:    [4]uint64{10, 20, 30, 40},
+		CoreServed:        [][4]uint64{{1, 2, 3, 4}, {5, 6, 7, 8}},
+		BurstSingleFrac01: 0.75, BurstSingleFrac10: 0.5,
+		MaxBurst01: 9,
+		LevelTrace: []byte{0, 1, 2, 3},
+		Counters: []hier.CounterWindow{
+			{PerCore: [][4]uint64{{9, 8, 7, 6}, {5, 4, 3, 2}}},
+			{PerCore: [][4]uint64{{1, 1, 1, 1}, {2, 2, 2, 2}}},
+		},
+	}
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	cases := map[string]*Result{
+		"full": fullResult(),
+		"zero": {},
+		"empty non-nil slices": {
+			GapSamples: []GapSample{}, Decoded: []byte{},
+			CoreServed: [][4]uint64{}, LevelTrace: []byte{},
+			Counters: []hier.CounterWindow{{PerCore: [][4]uint64{}}, {}},
+		},
+	}
+	for name, r := range cases {
+		got, err := decodeResult(encodeResult(r))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("%s: round trip mismatch\n got: %+v\nwant: %+v", name, got, r)
+		}
+	}
+}
+
+// TestResultCodecFieldAudit pins the Result field list the codec was written
+// against: a new field fails here until encodeResult/decodeResult carry it
+// and storeKeySchema is bumped.
+func TestResultCodecFieldAudit(t *testing.T) {
+	statetest.Fields(t, Result{},
+		"PayloadBits", "ChannelBits", "Cycles", "BitRateKBps", "ChannelKBps",
+		"Errors", "RawErrors", "ECCStats", "MaxGap", "GapSamples",
+		"SyncWaits", "SyncTimeouts", "Decoded", "ReceiverLevels", "CoreServed",
+		"BurstSingleFrac01", "BurstSingleFrac10", "MaxBurst01", "LevelTrace",
+		"Counters")
+}
+
+func TestResultCodecRejectsCorrupt(t *testing.T) {
+	good := encodeResult(fullResult())
+	if _, err := decodeResult(good[:len(good)-3]); err == nil {
+		t.Error("decode accepted a truncated payload")
+	}
+	if _, err := decodeResult(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("decode accepted trailing bytes")
+	}
+	// A bool byte outside {0,1} marks structural corruption. Locate the
+	// GapSamples nil flag by diffing against an encoding that differs only
+	// in that flag.
+	noGaps := fullResult()
+	noGaps.GapSamples = nil
+	other := encodeResult(noGaps)
+	flag := 0
+	for good[flag] == other[flag] {
+		flag++
+	}
+	bad := append([]byte(nil), good...)
+	bad[flag] = 7
+	if _, err := decodeResult(bad); err == nil {
+		t.Error("decode accepted a non-bool nil flag")
+	}
+}
+
+type stubPattern struct{}
+
+func (stubPattern) Name() string           { return "stub" }
+func (stubPattern) Offset(uint64, int) int { return 0 }
+
+// keyedConfig is the key-sensitivity base: every optional sub-config
+// populated so field mutations inside them are visible to the audit.
+func keyedConfig() Config {
+	cfg := DefaultConfig()
+	d := dram.DefaultConfig()
+	cfg.DRAM = &d
+	cfg.Noise = []noise.Config{{Name: "stress", Shape: noise.Rand,
+		Footprint: 1 << 20, ComputeGap: 100, Stride: 64, Parallel: 2}}
+	cfg.Quota = &hier.QuotaConfig{DomainWays: []int{4, 4}, MinWays: 1,
+		RebalancePeriod: 1000, CopyOnAccess: true}
+	cfg.GapSampleEvery = 500
+	cfg.CamouflageAccesses = 2
+	cfg.ThresholdOverride = 90
+	cfg.PreambleBits = 100
+	cfg.CounterWindow = 10000
+	cfg.GapClamp = 4000
+	return cfg
+}
+
+func mustKey(t *testing.T, cfg Config) resultstore.Key {
+	t.Helper()
+	k, ok := storeKey(&cfg, []byte{1, 0, 1})
+	if !ok {
+		t.Fatal("config unexpectedly store-ineligible")
+	}
+	return k
+}
+
+// TestStoreKeySensitivity is the key-sensitivity audit (satellite 2): every
+// Config field either moves the key when mutated, makes the config
+// store-ineligible, or is documented as excluded — and the statetest field
+// audit forces a new Config field to show up in exactly one of those lists
+// before the suite passes again.
+func TestStoreKeySensitivity(t *testing.T) {
+	base := keyedConfig()
+	baseKey := mustKey(t, base)
+
+	change := map[string]func(*Config){
+		"Machine":            func(c *Config) { m := params.SkylakeE3(); m.FreqMHz++; c.Machine = m },
+		"ArraySize":          func(c *Config) { c.ArraySize *= 2 },
+		"Seed":               func(c *Config) { c.Seed++ },
+		"KeySeed":            func(c *Config) { c.KeySeed++ },
+		"Modulate":           func(c *Config) { c.Modulate = !c.Modulate },
+		"TrailingLag":        func(c *Config) { c.TrailingLag++ },
+		"RateLimitSender":    func(c *Config) { c.RateLimitSender = !c.RateLimitSender },
+		"SyncPeriod":         func(c *Config) { c.SyncPeriod++ },
+		"SyncLead":           func(c *Config) { c.SyncLead++ },
+		"DelayedStartBits":   func(c *Config) { c.DelayedStartBits++ },
+		"ECC":                func(c *Config) { c.ECC = !c.ECC },
+		"PreambleBits":       func(c *Config) { c.PreambleBits++ },
+		"SenderCore":         func(c *Config) { c.SenderCore = 2 },
+		"ReceiverCore":       func(c *Config) { c.ReceiverCore = 3 },
+		"SameCore":           func(c *Config) { c.SameCore = !c.SameCore },
+		"ThresholdOverride":  func(c *Config) { c.ThresholdOverride++ },
+		"DisablePrefetch":    func(c *Config) { c.DisablePrefetch = !c.DisablePrefetch },
+		"TraceLevels":        func(c *Config) { c.TraceLevels = !c.TraceLevels },
+		"OSJitter":           func(c *Config) { c.OSJitter = !c.OSJitter },
+		"WarmupBytes":        func(c *Config) { c.WarmupBytes++ },
+		"HugePages":          func(c *Config) { c.HugePages = !c.HugePages },
+		"SystemNoise":        func(c *Config) { c.SystemNoise = !c.SystemNoise },
+		"GapSampleEvery":     func(c *Config) { c.GapSampleEvery++ },
+		"CamouflageAccesses": func(c *Config) { c.CamouflageAccesses++ },
+		"PartitionWays":      func(c *Config) { c.PartitionWays++ },
+		"RandomFillProb":     func(c *Config) { c.RandomFillProb += 0.25 },
+		"CounterWindow":      func(c *Config) { c.CounterWindow++ },
+		"GapClamp":           func(c *Config) { c.GapClamp++ },
+
+		// Pointer sub-configs: presence and every inner field must move the
+		// key. The statetest audits below keep the inner lists exhaustive.
+		"DRAM":  func(c *Config) { c.DRAM = nil },
+		"Noise": func(c *Config) { c.Noise = nil },
+		"Quota": func(c *Config) { c.Quota = nil },
+	}
+	// Caller-supplied interfaces cannot be canonically encoded: the config
+	// must bypass the store entirely rather than alias under one key.
+	ineligible := map[string]func(*Config){
+		"Pattern":   func(c *Config) { c.Pattern = stubPattern{} },
+		"LLCPolicy": func(c *Config) { c.LLCPolicy = cache.NewLRU() },
+	}
+	// Chain is a pure scheduling optimization — the golden suite's
+	// checkpoint-off axis pins that results are bit-identical with and
+	// without it — so chained and unchained runs share store entries.
+	excluded := map[string]func(*Config){
+		"Chain": func(c *Config) { c.Chain = &ChainSpec{Key: 1, Lengths: []int{100, 200}} },
+	}
+
+	var covered []string
+	for name := range change {
+		covered = append(covered, name)
+	}
+	for name := range ineligible {
+		covered = append(covered, name)
+	}
+	for name := range excluded {
+		covered = append(covered, name)
+	}
+	statetest.Fields(t, Config{}, covered...)
+
+	for name, mutate := range change {
+		cfg := keyedConfig()
+		mutate(&cfg)
+		if mustKey(t, cfg) == baseKey {
+			t.Errorf("mutating Config.%s did not change the store key — storeKey is missing the field", name)
+		}
+	}
+	for name, mutate := range ineligible {
+		cfg := keyedConfig()
+		mutate(&cfg)
+		if _, ok := storeKey(&cfg, []byte{1, 0, 1}); ok {
+			t.Errorf("Config.%s set should make the config store-ineligible", name)
+		}
+	}
+	for name, mutate := range excluded {
+		cfg := keyedConfig()
+		mutate(&cfg)
+		if mustKey(t, cfg) != baseKey {
+			t.Errorf("Config.%s is documented as key-excluded but changed the key", name)
+		}
+	}
+
+	// Payload identity is part of the key.
+	if k, _ := storeKey(&base, []byte{1, 0, 0}); k == baseKey {
+		t.Error("payload content did not change the store key")
+	}
+	if k, _ := storeKey(&base, []byte{1, 0, 1, 0}); k == baseKey {
+		t.Error("payload length did not change the store key")
+	}
+}
+
+// TestStoreKeySubConfigSensitivity extends the audit into the pointed-to
+// sub-configs: every field of dram.Config, hier.QuotaConfig, and
+// noise.Config must move the key, and the statetest audits fail the moment
+// any of those structs gains a field the encoder misses.
+func TestStoreKeySubConfigSensitivity(t *testing.T) {
+	statetest.Fields(t, dram.Config{}, "Banks", "RowBytes", "RowHit", "RowMiss",
+		"RowConflict", "JitterSD", "BankBusy", "ChannelBusy", "RowCloseCycles",
+		"FastTailProb", "FastTailLat", "MinLatency")
+	statetest.Fields(t, hier.QuotaConfig{}, "DomainWays", "MinWays",
+		"RebalancePeriod", "CopyOnAccess")
+	statetest.Fields(t, noise.Config{}, "Name", "Shape", "Footprint",
+		"ComputeGap", "Stride", "Parallel")
+
+	baseKey := mustKey(t, keyedConfig())
+	muts := map[string]func(*Config){
+		"DRAM.Banks":            func(c *Config) { c.DRAM.Banks++ },
+		"DRAM.RowBytes":         func(c *Config) { c.DRAM.RowBytes *= 2 },
+		"DRAM.RowHit":           func(c *Config) { c.DRAM.RowHit++ },
+		"DRAM.RowMiss":          func(c *Config) { c.DRAM.RowMiss++ },
+		"DRAM.RowConflict":      func(c *Config) { c.DRAM.RowConflict++ },
+		"DRAM.JitterSD":         func(c *Config) { c.DRAM.JitterSD++ },
+		"DRAM.BankBusy":         func(c *Config) { c.DRAM.BankBusy++ },
+		"DRAM.ChannelBusy":      func(c *Config) { c.DRAM.ChannelBusy++ },
+		"DRAM.RowCloseCycles":   func(c *Config) { c.DRAM.RowCloseCycles++ },
+		"DRAM.FastTailProb":     func(c *Config) { c.DRAM.FastTailProb += 0.1 },
+		"DRAM.FastTailLat":      func(c *Config) { c.DRAM.FastTailLat++ },
+		"DRAM.MinLatency":       func(c *Config) { c.DRAM.MinLatency++ },
+		"Quota.DomainWays":      func(c *Config) { c.Quota.DomainWays = []int{2, 6} },
+		"Quota.MinWays":         func(c *Config) { c.Quota.MinWays++ },
+		"Quota.RebalancePeriod": func(c *Config) { c.Quota.RebalancePeriod++ },
+		"Quota.CopyOnAccess":    func(c *Config) { c.Quota.CopyOnAccess = !c.Quota.CopyOnAccess },
+		"Noise.Name":            func(c *Config) { c.Noise[0].Name = "other" },
+		"Noise.Shape":           func(c *Config) { c.Noise[0].Shape = noise.Seq },
+		"Noise.Footprint":       func(c *Config) { c.Noise[0].Footprint *= 2 },
+		"Noise.ComputeGap":      func(c *Config) { c.Noise[0].ComputeGap++ },
+		"Noise.Stride":          func(c *Config) { c.Noise[0].Stride *= 2 },
+		"Noise.Parallel":        func(c *Config) { c.Noise[0].Parallel++ },
+		"Noise.len":             func(c *Config) { c.Noise = append(c.Noise, c.Noise[0]) },
+	}
+	for name, mutate := range muts {
+		cfg := keyedConfig()
+		mutate(&cfg)
+		if mustKey(t, cfg) == baseKey {
+			t.Errorf("mutating %s did not change the store key", name)
+		}
+	}
+}
+
+// storeTestConfig is a scaled-down run for the serving tests.
+func storeTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = 4242
+	cfg.ArraySize = 4 << 20
+	cfg.WarmupBytes = 1 << 18
+	cfg.SyncPeriod = 4000
+	cfg.SyncLead = 500
+	cfg.DelayedStartBits = 500
+	cfg.TrailingLag = 500
+	cfg.GapSampleEvery = 1000
+	cfg.TraceLevels = true
+	return cfg
+}
+
+// TestRunServedFromStore pins the read-through/write-back contract: the
+// second identical Run is served from disk, DeepEquals the simulated first,
+// and checks out no simulator.
+func TestRunServedFromStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("channel runs")
+	}
+	st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetStore(SetStore(st))
+
+	cfg := storeTestConfig()
+	bits := payload.Random(7, 4000)
+	cold := run(t, cfg, bits)
+	before := ReadRunCounters()
+	warm := run(t, cfg, bits)
+	after := ReadRunCounters()
+
+	if !reflect.DeepEqual(warm, cold) {
+		t.Error("served Result differs from the simulated one")
+	}
+	if after.StoreHits != before.StoreHits+1 {
+		t.Errorf("store hits %d -> %d, want one more", before.StoreHits, after.StoreHits)
+	}
+	if after.Sims != before.Sims {
+		t.Errorf("warm run checked out a simulator (%d -> %d)", before.Sims, after.Sims)
+	}
+	if s := st.Stats(); s.Hits != 1 || s.Writes != 1 {
+		t.Errorf("store stats %+v, want exactly 1 hit and 1 write", s)
+	}
+}
+
+// TestRunStoreCorruptFallback is the corruption-hardening satellite at the
+// Run level: a bit-flipped entry must be detected, quarantined, and
+// transparently re-simulated to a byte-identical Result, recording a miss.
+func TestRunStoreCorruptFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("channel runs")
+	}
+	dir := t.TempDir()
+	st, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetStore(SetStore(st))
+
+	cfg := storeTestConfig()
+	bits := payload.Random(11, 4000)
+	cold := run(t, cfg, bits)
+
+	// Flip one payload bit in the single stored entry.
+	var entry string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			entry = path
+		}
+		return err
+	})
+	if err != nil || entry == "" {
+		t.Fatalf("no store entry found: %v", err)
+	}
+	raw, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(entry, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	before := ReadRunCounters()
+	again := run(t, cfg, bits)
+	after := ReadRunCounters()
+
+	if !reflect.DeepEqual(again, cold) {
+		t.Error("re-simulated Result after corruption differs from the original")
+	}
+	if after.StoreMisses != before.StoreMisses+1 {
+		t.Errorf("store misses %d -> %d, want one more", before.StoreMisses, after.StoreMisses)
+	}
+	if after.Sims != before.Sims+1 {
+		t.Errorf("corrupt entry did not fall back to simulation (%d -> %d sims)", before.Sims, after.Sims)
+	}
+	s := st.Stats()
+	if s.Quarantined != 1 {
+		t.Errorf("store stats %+v, want 1 quarantined", s)
+	}
+	if _, err := os.Stat(entry + ".corrupt"); err != nil {
+		t.Errorf("corrupt entry not renamed aside: %v", err)
+	}
+
+	// The fallback's write-back healed the entry: third run is a hit again.
+	healed := run(t, cfg, bits)
+	if !reflect.DeepEqual(healed, cold) {
+		t.Error("healed Result differs from the original")
+	}
+	if c := ReadRunCounters(); c.StoreHits != after.StoreHits+1 {
+		t.Error("healed entry not served as a hit")
+	}
+}
+
+// TestStoreIneligibleConfigBypasses pins that a caller-supplied pattern
+// bypasses the store entirely: no writes, no counter movement.
+func TestStoreIneligibleConfigBypasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("channel runs")
+	}
+	st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetStore(SetStore(st))
+
+	cfg := storeTestConfig()
+	cfg.LLCPolicy = cache.NewLRU()
+	before := ReadRunCounters()
+	run(t, cfg, payload.Random(3, 2000))
+	after := ReadRunCounters()
+	if s := st.Stats(); s.Writes != 0 || s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("ineligible config touched the store: %+v", s)
+	}
+	if after.StoreHits != before.StoreHits || after.StoreMisses != before.StoreMisses {
+		t.Error("ineligible config moved the store counters")
+	}
+}

@@ -163,13 +163,16 @@ func planAblationReplacement(o Opts) (*Plan, error) {
 	for _, p := range policies {
 		points = append(points, Point{
 			Label: p.name,
-			Run: channelRun(func(rep int, seed uint64) core.Config {
-				cfg := core.DefaultConfig()
-				// The policy gets its own derived stream so its random
-				// choices stay decorrelated from the simulator's.
-				cfg.LLCPolicy = p.mk(rng.Derive(seed, 1))
-				return cfg
-			}, n),
+			// The live cache.Policy makes the config ineligible for
+			// core.Run's store; the Out cache keys on the policy name.
+			Run: storedRun(fmt.Sprintf("ablation-replacement policy=%s bits=%d", p.name, n),
+				channelRun(func(rep int, seed uint64) core.Config {
+					cfg := core.DefaultConfig()
+					// The policy gets its own derived stream so its random
+					// choices stay decorrelated from the simulator's.
+					cfg.LLCPolicy = p.mk(rng.Derive(seed, 1))
+					return cfg
+				}, n)),
 		})
 	}
 	return &Plan{

@@ -18,14 +18,14 @@ func planAsyncPP(o Opts) (*Plan, error) {
 		// Synchronous LLC Prime+Probe.
 		{
 			Label: "prime+probe synchronous",
-			Run: attackRun(func(s uint64) (attacks.Attack, error) {
+			Run: attackRun("asyncpp prime+probe(llc) sync", func(s uint64) (attacks.Attack, error) {
 				return attacks.NewPrimeProbeLLC(0, s)
 			}, bits/4),
 		},
 		// Asynchronous Prime+Probe.
 		{
 			Label: "prime+probe asynchronous",
-			Run: attackRun(func(s uint64) (attacks.Attack, error) {
+			Run: attackRun("asyncpp async-prime+probe", func(s uint64) (attacks.Attack, error) {
 				return attacks.NewAsyncPrimeProbe(s)
 			}, bits),
 		},

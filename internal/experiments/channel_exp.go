@@ -28,7 +28,11 @@ func planFig6(o Opts) (*Plan, error) {
 		for vi, vname := range variants {
 			points = append(points, Point{
 				Label: fmt.Sprintf("gap=%d %s", gap, vname),
-				Run: channelRun(func(int, uint64) core.Config {
+				// The naive variant installs a live pattern.Pattern, which
+				// core.Run's store cannot fingerprint; the Out cache keys
+				// on the variant name instead. The other variants are
+				// wrapped too so the whole figure warms uniformly.
+				Run: storedRun(fmt.Sprintf("fig6 gap=%d variant=%s bits=%d", gap, vname, bits), channelRun(func(int, uint64) core.Config {
 					cfg := core.DefaultConfig()
 					cfg.SyncPeriod = 0
 					cfg.GapClamp = gap
@@ -41,7 +45,7 @@ func planFig6(o Opts) (*Plan, error) {
 						cfg.TrailingLag = 0
 					}
 					return cfg
-				}, bits),
+				}, bits)),
 			})
 		}
 	}

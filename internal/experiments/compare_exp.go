@@ -82,9 +82,12 @@ func planFig10(o Opts) (*Plan, error) {
 // attackRun returns a pure per-run function measuring one synchronous
 // baseline attack: mk constructs the attack from the derived seed, and the
 // payload derives from the same seed. Metrics are (rate, err%); Data is
-// the attack's (name, model) pair for Assemble.
-func attackRun(mk func(seed uint64) (attacks.Attack, error), bits int) func(int, uint64) (Out, error) {
-	return func(rep int, seed uint64) (Out, error) {
+// the attack's (name, model) pair for Assemble. desc names the point for
+// the Out-level result cache (storedout.go) — attacks never reach
+// core.Run, so this is their only store path; the bit count is appended
+// here so callers cannot forget it.
+func attackRun(desc string, mk func(seed uint64) (attacks.Attack, error), bits int) func(int, uint64) (Out, error) {
+	return storedRun(fmt.Sprintf("%s bits=%d", desc, bits), func(rep int, seed uint64) (Out, error) {
 		a, err := mk(seed)
 		if err != nil {
 			return Out{}, err
@@ -97,7 +100,7 @@ func attackRun(mk func(seed uint64) (attacks.Attack, error), bits int) func(int,
 			Metrics: []float64{res.BitRateKBps, res.Errors.Rate() * 100},
 			Data:    [2]string{a.Name(), a.Model()},
 		}, nil
-	}
+	})
 }
 
 // planFig11 regenerates Figure 11: Flush+Reload's bit-error-rate as its
@@ -113,7 +116,7 @@ func planFig11(o Opts) (*Plan, error) {
 	for _, w := range windows {
 		points = append(points, Point{
 			Label: fmt.Sprintf("window=%d", w),
-			Run: attackRun(func(seed uint64) (attacks.Attack, error) {
+			Run: attackRun(fmt.Sprintf("fig11 flush+reload window=%d jitter=600", w), func(seed uint64) (attacks.Attack, error) {
 				a, err := attacks.NewFlushReload(w, seed)
 				if err != nil {
 					return nil, err
@@ -170,25 +173,28 @@ func planTable6(o Opts) (*Plan, error) {
 	if o.Quick {
 		trBits = 20
 	}
-	mk := []func(seed uint64) (attacks.Attack, error){
-		func(s uint64) (attacks.Attack, error) { return attacks.NewTakeAway(0, 0, s) },
-		func(s uint64) (attacks.Attack, error) { return attacks.NewFlushFlush(0, s) },
-		func(s uint64) (attacks.Attack, error) { return attacks.NewPrimeProbeL1(0, s) },
-		func(s uint64) (attacks.Attack, error) { return attacks.NewFlushReload(0, s) },
-		func(s uint64) (attacks.Attack, error) { return attacks.NewPrimeProbeLLC(0, s) },
+	mk := []struct {
+		name string
+		mk   func(seed uint64) (attacks.Attack, error)
+	}{
+		{"take-a-way", func(s uint64) (attacks.Attack, error) { return attacks.NewTakeAway(0, 0, s) }},
+		{"flush+flush", func(s uint64) (attacks.Attack, error) { return attacks.NewFlushFlush(0, s) }},
+		{"prime+probe(l1)", func(s uint64) (attacks.Attack, error) { return attacks.NewPrimeProbeL1(0, s) }},
+		{"flush+reload", func(s uint64) (attacks.Attack, error) { return attacks.NewFlushReload(0, s) }},
+		{"prime+probe(llc)", func(s uint64) (attacks.Attack, error) { return attacks.NewPrimeProbeLLC(0, s) }},
 	}
 	var points []Point
 	for i, f := range mk {
 		points = append(points, Point{
 			Label: fmt.Sprintf("baseline %d", i),
-			Run:   attackRun(f, bits),
+			Run:   attackRun("table6 "+f.name, f.mk, bits),
 		})
 	}
 	// Thrash+Reload: tiny payload, each bit thrashes the LLC.
 	points = append(points, Point{
 		Label: "thrash+reload",
 		Reps:  1,
-		Run: attackRun(func(s uint64) (attacks.Attack, error) {
+		Run: attackRun("table6 thrash+reload", func(s uint64) (attacks.Attack, error) {
 			return attacks.NewThrashReload(s)
 		}, trBits),
 	})

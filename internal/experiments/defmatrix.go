@@ -59,10 +59,21 @@ func planDefMatrix(o Opts) (*Plan, error) {
 	var points []Point
 	for _, a := range atks {
 		for _, d := range defs {
+			// Baseline attacks never reach core.Run, so the Out cache is
+			// their only store path; streamline's row is also wrapped to
+			// skip the (cheap but nonzero) stealth recomputation on warm
+			// passes. Descriptors carry the bit count each cell actually
+			// ran — labels alone alias across -quick/-full scales.
+			bits := atkBits
+			if a.name == "streamline" {
+				bits = slBits
+			}
 			points = append(points, Point{
 				Label: fmt.Sprintf("%s vs %s", a.name, d.name),
 				Reps:  1,
-				Run:   a.mk(d, atkBits),
+				Run: storedRun(
+					fmt.Sprintf("defmatrix %s vs %s bits=%d window=%d", a.name, d.name, bits, defMonitorWindow),
+					a.mk(d, atkBits)),
 			})
 		}
 	}

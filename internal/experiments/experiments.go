@@ -275,6 +275,15 @@ func (plan *Plan) execute(id string, o Opts) (*Table, error) {
 		return plan.Points[s.Point].Run(s.Rep, seed)
 	}
 	ropt := runner.Options{Root: o.Seed, Workers: o.Workers, Hook: hook}
+	if st := core.ActiveStore(); st != nil {
+		// The progress hook labels each run [hit]/[miss] from these
+		// cumulative counters; the handle covers both core.Run serving and
+		// the point-level Out cache (storedout.go).
+		ropt.StoreCounters = func() (uint64, uint64) {
+			s := st.Stats()
+			return s.Hits, s.Misses
+		}
+	}
 	var outs []Out
 	var err error
 	if len(plan.Chains) > 0 {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"streamline/internal/core"
+	"streamline/internal/resultstore"
 )
 
 // The golden conformance suite pins the exact formatted output of every
@@ -87,6 +88,67 @@ func TestGoldenConformance(t *testing.T) {
 			if !bytes.Equal(cold, want) {
 				t.Errorf("checkpoint-off output differs from the golden — checkpoint forking is changing results\n--- got ---\n%s--- want ---\n%s", cold, want)
 			}
+			// Fifth axis: the on-disk result store. A store-backed sweep
+			// must be invisible twice over — the cold pass (simulating and
+			// writing back) and the warm pass (served entirely from disk)
+			// both reproduce the committed bytes.
+			st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevStore := core.SetStore(st)
+			defer core.SetStore(prevStore)
+			if storeCold := goldenOutput(t, id, 8); !bytes.Equal(storeCold, want) {
+				t.Errorf("store-on cold output differs from the golden — write-back is changing results\n--- got ---\n%s--- want ---\n%s", storeCold, want)
+			}
+			if storeWarm := goldenOutput(t, id, 8); !bytes.Equal(storeWarm, want) {
+				t.Errorf("store-on warm output differs from the golden — served results are not bit-identical\n--- got ---\n%s--- want ---\n%s", storeWarm, want)
+			}
+			if id == corruptAxisID {
+				// Corrupt every entry in place: each Get must quarantine and
+				// fall back to a cold recompute that still matches the
+				// golden. One representative id keeps the axis cheap.
+				corruptStoreEntries(t, st.Dir())
+				if fallback := goldenOutput(t, id, 8); !bytes.Equal(fallback, want) {
+					t.Errorf("corrupt-store output differs from the golden — quarantine fallback is changing results\n--- got ---\n%s--- want ---\n%s", fallback, want)
+				}
+				if st.Stats().Quarantined == 0 {
+					t.Error("corrupt-store axis quarantined nothing — the corruption never reached Get")
+				}
+			}
+			core.SetStore(prevStore)
 		})
+	}
+}
+
+// corruptAxisID is the experiment the corrupt-entry fallback axis runs on:
+// table1 exercises the Out-level cache (its points never reach core.Run)
+// and is among the cheapest sweeps to recompute.
+const corruptAxisID = "table1"
+
+// corruptStoreEntries flips the final byte of every entry under dir.
+func corruptStoreEntries(t *testing.T, dir string) {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		b[len(b)-1] ^= 0xff
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("store directory holds no entries to corrupt")
 	}
 }

@@ -57,7 +57,7 @@ func planUniversality(o Opts) (*Plan, error) {
 		points = append(points, Point{
 			Label: b.name,
 			Reps:  1,
-			Run: func(rep int, seed uint64) (Out, error) {
+			Run: storedRun(fmt.Sprintf("universality %s +armprobe bits=%d", b.name, baselineBits), func(rep int, seed uint64) (Out, error) {
 				a, err := b.mk(nil, seed)
 				if err != nil {
 					return Out{}, err
@@ -74,7 +74,7 @@ func planUniversality(o Opts) (*Plan, error) {
 					Metrics: []float64{res.BitRateKBps, res.Errors.Rate() * 100},
 					Data:    armVerdict,
 				}, nil
-			},
+			}),
 		})
 	}
 
@@ -88,7 +88,7 @@ func planUniversality(o Opts) (*Plan, error) {
 		points = append(points, Point{
 			Label: fmt.Sprintf("prime+probe platform %d", i),
 			Reps:  1,
-			Run: func(rep int, seed uint64) (Out, error) {
+			Run: storedRun(fmt.Sprintf("universality prime+probe(llc) platform=%d bits=%d", i, baselineBits), func(rep int, seed uint64) (Out, error) {
 				a, err := attacks.NewPrimeProbeLLCOn(mkM(), 0, seed)
 				if err != nil {
 					return Out{}, err
@@ -98,7 +98,7 @@ func planUniversality(o Opts) (*Plan, error) {
 					return Out{}, err
 				}
 				return Out{Metrics: []float64{res.BitRateKBps, res.Errors.Rate() * 100}}, nil
-			},
+			}),
 		})
 	}
 

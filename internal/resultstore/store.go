@@ -1,0 +1,358 @@
+// Package resultstore is a persistent content-addressed store for completed
+// simulation results (see DESIGN.md §9 "Result store"). It turns repeated
+// runs — CI re-runs, warm `-exp all` passes, identical daemon jobs — into a
+// serving problem: a result computed once under a content key (machine
+// fingerprint × canonical run-options hash × seed × payload hash, derived by
+// the caller) is thereafter a disk read, not a simulation.
+//
+// Layout and format follow the content-addressed-repository idiom: entries
+// live under a two-level sharded tree (`<dir>/ab/abcdef...`, the first key
+// byte as shard), each wrapped in a versioned binary envelope that echoes
+// the key and carries an FNV-1a checksum of the payload. Writes go through
+// a temp file and an atomic rename, so a crashed or concurrent writer can
+// never leave a half-written entry under a valid name. Reads verify the
+// whole envelope; anything that fails verification — truncation, a flipped
+// bit, a schema bump — is quarantined in place (renamed to `.corrupt`),
+// logged once, and reported as a miss, so corruption costs one re-simulation
+// and never an incorrect result.
+//
+// The store is size-bounded: Put evicts the least-recently-used entries
+// (file mtime; Get touches entries it serves) once the configured budget is
+// exceeded. All maintenance is observational — the store only ever returns
+// byte-exact payloads a caller previously stored, so results served from it
+// are bit-identical to re-simulating by construction of the key.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key addresses one stored entry: 128 bits of a SHA-256 over the caller's
+// canonical content encoding. Content-derived keys make the store
+// self-deduplicating: coincident runs (the same point reached from two
+// experiments) share one entry regardless of which wrote first.
+type Key [16]byte
+
+// KeyOf derives the store key for a canonical content encoding: SHA-256
+// truncated to 128 bits. Callers are responsible for the encoding being
+// canonical — every semantically distinct input must serialize differently
+// (see the key-sensitivity audit in internal/core).
+func KeyOf(data []byte) Key {
+	sum := sha256.Sum256(data)
+	var k Key
+	copy(k[:], sum[:16])
+	return k
+}
+
+// String returns the key's 32-char hex form, which is also its filename.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Envelope format: a fixed header followed by the payload. Version covers
+// the envelope layout only; payload schema versioning is the caller's
+// (internal/core prefixes its Result codec version).
+const (
+	envMagic   = "SLRS"
+	envVersion = 1
+	envHdrLen  = 4 + 4 + 16 + 8 + 8 // magic, version, key echo, payload len, checksum
+)
+
+// Options configures Open.
+type Options struct {
+	// MaxBytes bounds the total payload bytes retained; Put evicts
+	// least-recently-used entries beyond it. 0 selects 2 GiB; negative
+	// disables eviction.
+	MaxBytes int64
+	// Log receives one line per quarantined entry (at most one line per
+	// Store lifetime unless every read corrupts); nil discards.
+	Log func(format string, args ...any)
+}
+
+// Stats is a monotonic snapshot of store activity plus the current on-disk
+// footprint.
+type Stats struct {
+	// Hits and Misses count Get outcomes; a quarantined read counts as a
+	// miss. Writes counts completed Puts, Evictions entries removed by the
+	// size bound, Quarantined entries renamed aside after failing
+	// verification.
+	Hits, Misses, Writes, Evictions, Quarantined uint64
+	// Entries and Bytes describe the live store (envelope bytes on disk).
+	Entries int
+	Bytes   int64
+}
+
+// Store is a concurrency-safe handle on one store directory. Multiple
+// processes may share a directory: writes are atomic renames, and a read
+// racing an eviction degrades to a miss.
+type Store struct {
+	dir      string
+	maxBytes int64
+	log      func(format string, args ...any)
+
+	hits, misses, writes, evictions, quarantined atomic.Uint64
+	loggedCorrupt                                atomic.Bool
+
+	// mu serializes Put bookkeeping and eviction; bytes/entries track the
+	// live footprint (scanned at Open, maintained incrementally after).
+	mu      sync.Mutex
+	bytes   int64
+	entries int
+}
+
+// Open opens (creating if needed) the store rooted at dir and scans the
+// existing entries to establish the size accounting. Stale temp files from
+// crashed writers are removed.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{dir: dir, maxBytes: opt.MaxBytes, log: opt.Log}
+	if s.maxBytes == 0 {
+		s.maxBytes = 2 << 30
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		switch filepath.Ext(path) {
+		case ".tmp":
+			os.Remove(path) // a writer died mid-Put; the rename never happened
+		case ".corrupt":
+			// Quarantined entries stay for post-mortems but are outside the
+			// live accounting and can never be served.
+		default:
+			info, err := d.Info()
+			if err != nil {
+				return nil // raced a concurrent eviction; not our entry anymore
+			}
+			s.bytes += info.Size()
+			s.entries++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: scanning %s: %w", dir, err)
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the sharded entry path for key.
+func (s *Store) path(key Key) string {
+	name := key.String()
+	return filepath.Join(s.dir, name[:2], name)
+}
+
+// Get returns the payload stored under key. Any verification failure —
+// short read, bad magic or version, key mismatch, checksum mismatch —
+// quarantines the entry and reports a miss; the caller re-simulates and the
+// next Put replaces it.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := unwrap(key, raw)
+	if err != nil {
+		s.quarantine(path, int64(len(raw)), err)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.touch(path)
+	return payload, true
+}
+
+// Put stores payload under key, atomically replacing any existing entry,
+// then enforces the size bound. Storing is an optimization for later
+// readers, so callers may ignore the error.
+func (s *Store) Put(key Key, payload []byte) error {
+	env := wrap(key, payload)
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), key.String()+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(env); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var replaced int64
+	if info, err := os.Stat(path); err == nil {
+		replaced = info.Size()
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if replaced > 0 {
+		s.bytes -= replaced
+	} else {
+		s.entries++
+	}
+	s.bytes += int64(len(env))
+	s.writes.Add(1)
+	s.evictLocked(path)
+	return nil
+}
+
+// Stats returns the current counters and footprint.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes := s.entries, s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+	}
+}
+
+// wrap builds the envelope for payload under key.
+func wrap(key Key, payload []byte) []byte {
+	env := make([]byte, envHdrLen+len(payload))
+	copy(env, envMagic)
+	binary.LittleEndian.PutUint32(env[4:], envVersion)
+	copy(env[8:], key[:])
+	binary.LittleEndian.PutUint64(env[24:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(env[32:], fnv64(payload))
+	copy(env[envHdrLen:], payload)
+	return env
+}
+
+// unwrap verifies the envelope end to end and returns the payload.
+func unwrap(key Key, raw []byte) ([]byte, error) {
+	if len(raw) < envHdrLen {
+		return nil, fmt.Errorf("short envelope: %d bytes", len(raw))
+	}
+	if string(raw[:4]) != envMagic {
+		return nil, fmt.Errorf("bad magic %q", raw[:4])
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:]); v != envVersion {
+		return nil, fmt.Errorf("envelope version %d, want %d", v, envVersion)
+	}
+	var echoed Key
+	copy(echoed[:], raw[8:24])
+	if echoed != key {
+		return nil, fmt.Errorf("key echo %s under entry %s", echoed, key)
+	}
+	plen := binary.LittleEndian.Uint64(raw[24:])
+	payload := raw[envHdrLen:]
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("payload length %d, header says %d", len(payload), plen)
+	}
+	if sum := fnv64(payload); sum != binary.LittleEndian.Uint64(raw[32:]) {
+		return nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// quarantine renames a failed entry aside (keeping it for post-mortems) and
+// logs the first occurrence. It is best-effort: if the rename fails the
+// entry stays and keeps costing a verification per Get, still never served.
+func (s *Store) quarantine(path string, size int64, cause error) {
+	s.quarantined.Add(1)
+	if os.Rename(path, path+".corrupt") == nil {
+		s.mu.Lock()
+		s.bytes -= size
+		s.entries--
+		s.mu.Unlock()
+	}
+	if s.log != nil && s.loggedCorrupt.CompareAndSwap(false, true) {
+		s.log("resultstore: quarantined corrupt entry %s (%v); falling back to simulation", path, cause)
+	}
+}
+
+// touch marks an entry recently used so eviction takes others first. The
+// clock reading is store maintenance only: LRU order can never influence a
+// served payload, let alone a simulation.
+func (s *Store) touch(path string) {
+	now := time.Now() //detlint:allow wallclock -- LRU recency stamp on store maintenance; payloads and simulation results never see it
+	os.Chtimes(path, now, now)
+}
+
+// evictLocked removes least-recently-used entries until the footprint fits
+// the budget. keep is the entry just written, exempt so a single oversized
+// Put does not evict itself. Called with s.mu held.
+func (s *Store) evictLocked(keep string) {
+	if s.maxBytes < 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || path == keep {
+			return nil
+		}
+		if ext := filepath.Ext(path); ext == ".tmp" || ext == ".corrupt" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		entries = append(entries, entry{path, info.Size(), info.ModTime()})
+		return nil
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path // stable order for equal stamps
+	})
+	for _, e := range entries {
+		if s.bytes <= s.maxBytes {
+			return
+		}
+		if os.Remove(e.path) == nil {
+			s.bytes -= e.size
+			s.entries--
+			s.evictions.Add(1)
+		}
+	}
+}
+
+// fnv64 is FNV-1a over the payload, the envelope's integrity checksum.
+func fnv64(b []byte) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * prime
+	}
+	return h
+}

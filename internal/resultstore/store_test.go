@@ -1,0 +1,287 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	key := KeyOf([]byte("content-a"))
+	payload := []byte("the quick brown payload")
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Fatalf("Stats = %+v, want 1 hit, 1 miss, 1 write", st)
+	}
+	if st.Entries != 1 || st.Bytes != int64(envHdrLen+len(payload)) {
+		t.Fatalf("footprint = %d entries, %d bytes; want 1 entry, %d bytes",
+			st.Entries, st.Bytes, envHdrLen+len(payload))
+	}
+}
+
+func TestKeyIsContentAddress(t *testing.T) {
+	a, b := KeyOf([]byte("one")), KeyOf([]byte("two"))
+	if a == b {
+		t.Fatal("distinct contents share a key")
+	}
+	if a != KeyOf([]byte("one")) {
+		t.Fatal("KeyOf is not deterministic")
+	}
+	if len(a.String()) != 32 {
+		t.Fatalf("key hex %q not 32 chars", a)
+	}
+}
+
+func TestPutReplacesExisting(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	key := KeyOf([]byte("k"))
+	if err := s.Put(key, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, []byte("second, longer payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || string(got) != "second, longer payload" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("Entries = %d after replacing Put, want 1", st.Entries)
+	}
+	if want := int64(envHdrLen + len("second, longer payload")); st.Bytes != want {
+		t.Fatalf("Bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+// TestCorruptionQuarantined is the store half of the corruption-hardening
+// satellite: a flipped payload bit must surface as a miss (so the caller
+// re-simulates), move the entry aside as .corrupt, and log once.
+func TestCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	var logged int
+	s := openT(t, dir, Options{Log: func(string, ...any) { logged++ }})
+	key := KeyOf([]byte("victim"))
+	if err := s.Put(key, []byte("pristine payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, key.String()[:2], key.String())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[envHdrLen+3] ^= 0x40 // flip one payload bit
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still live: %v", err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("Stats = %+v, want 1 quarantined, 1 miss, 0 hits", st)
+	}
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("footprint %d entries %d bytes after quarantine, want 0/0", st.Entries, st.Bytes)
+	}
+	if logged != 1 {
+		t.Fatalf("logged %d times, want exactly once", logged)
+	}
+
+	// A fresh Put under the same key works and serves again.
+	if err := s.Put(key, []byte("resimulated")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "resimulated" {
+		t.Fatalf("Get after re-Put = %q, %v", got, ok)
+	}
+}
+
+func TestEnvelopeVerification(t *testing.T) {
+	key := KeyOf([]byte("env"))
+	good := wrap(key, []byte("payload"))
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"short", func(e []byte) []byte { return e[:envHdrLen-1] }},
+		{"truncated payload", func(e []byte) []byte { return e[:len(e)-2] }},
+		{"bad magic", func(e []byte) []byte { e[0] = 'X'; return e }},
+		{"future version", func(e []byte) []byte { e[4] = envVersion + 1; return e }},
+		{"key echo mismatch", func(e []byte) []byte { e[8] ^= 1; return e }},
+		{"checksum mismatch", func(e []byte) []byte { e[envHdrLen] ^= 1; return e }},
+	}
+	for _, tc := range cases {
+		env := tc.mutate(append([]byte(nil), good...))
+		if _, err := unwrap(key, env); err == nil {
+			t.Errorf("%s: unwrap accepted a bad envelope", tc.name)
+		}
+	}
+	if p, err := unwrap(key, good); err != nil || string(p) != "payload" {
+		t.Fatalf("unwrap(good) = %q, %v", p, err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 64)
+	entrySize := int64(envHdrLen + len(payload))
+	// Budget for three entries; the fourth Put must evict the oldest.
+	s := openT(t, dir, Options{MaxBytes: 3 * entrySize})
+
+	keys := make([]Key, 4)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := range keys {
+		keys[i] = KeyOf([]byte(fmt.Sprintf("entry-%d", i)))
+		if err := s.Put(keys[i], payload); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mtimes so LRU order is unambiguous regardless of
+		// filesystem timestamp granularity.
+		stamp := base.Add(time.Duration(i) * time.Hour)
+		if i == 3 {
+			break // the just-written entry keeps its natural (newest) stamp
+		}
+		if err := os.Chtimes(filepath.Join(dir, keys[i].String()[:2], keys[i].String()), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("Stats = %+v, want 1 eviction leaving 3 entries", st)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("entry %s evicted out of LRU order", k)
+		}
+	}
+}
+
+func TestOversizedPutKeepsItself(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{MaxBytes: 16}) // smaller than any envelope
+	key := KeyOf([]byte("big"))
+	if err := s.Put(key, bytes.Repeat([]byte("y"), 128)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); !ok {
+		t.Fatal("a single oversized Put evicted itself")
+	}
+}
+
+func TestEvictionDisabled(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{MaxBytes: -1})
+	for i := 0; i < 8; i++ {
+		if err := s.Put(KeyOf([]byte{byte(i)}), bytes.Repeat([]byte("z"), 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 0 || st.Entries != 8 {
+		t.Fatalf("Stats = %+v, want 8 entries and no evictions", st)
+	}
+}
+
+// TestReopenRescans proves the accounting survives process restarts: a new
+// Store over an existing directory sees prior entries, serves them, and
+// clears stale temp files from crashed writers.
+func TestReopenRescans(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	key := KeyOf([]byte("persist"))
+	if err := s.Put(key, []byte("outlives the handle")); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Stats().Bytes
+
+	// A crashed writer's leftover and a quarantined entry, both outside the
+	// live accounting.
+	stale := filepath.Join(dir, key.String()[:2], "deadbeef-12345.tmp")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key.String()[:2], "feedface.corrupt"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes != want {
+		t.Fatalf("reopened Stats = %+v, want 1 entry, %d bytes", st, want)
+	}
+	if got, ok := s2.Get(key); !ok || string(got) != "outlives the handle" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file not removed: %v", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	const n = 32
+	done := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		i := i
+		payload := bytes.Repeat([]byte{byte(i)}, 32+i)
+		key := KeyOf(payload)
+		go func() { done <- s.Put(key, payload) }()
+		go func() {
+			// Hit or miss depending on the race, but never a wrong payload.
+			if got, ok := s.Get(key); ok && !bytes.Equal(got, payload) {
+				done <- fmt.Errorf("key %s served %d bytes, want %d", key, len(got), len(payload))
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 2*n; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 32+i)
+		if got, ok := s.Get(KeyOf(payload)); !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("entry %d missing or wrong after concurrent writes", i)
+		}
+	}
+}

@@ -64,6 +64,13 @@ type Event struct {
 	// another worker's deque. Zero under plain Execute. Informational only
 	// — like Elapsed, they never influence results.
 	SegmentsDone, SegmentsStolen int
+	// StoreHits and StoreMisses count result-store hits and misses since
+	// this sweep started (Options.StoreCounters, rebased to the sweep's
+	// entry so one sweep never inherits another's totals); hooks diff
+	// consecutive events to attribute hits/misses to runs. Zero when no
+	// store is wired. Informational only — served results are bit-identical
+	// to simulated ones by the store's keying contract.
+	StoreHits, StoreMisses uint64
 }
 
 // Hook observes run completions. It is called from worker goroutines but
@@ -80,6 +87,27 @@ type Options struct {
 	Workers int
 	// Hook, when non-nil, receives one Event per completed run.
 	Hook Hook
+	// StoreCounters, when non-nil, supplies cumulative result-store
+	// (hits, misses) totals; Execute snapshots it into each Event. The
+	// indirection exists because the runner cannot name the store's owner:
+	// internal/core imports this package for its simulator pool.
+	StoreCounters func() (hits, misses uint64)
+}
+
+// stamper returns the function filling each Event's store counters from
+// StoreCounters, rebased to the counters' values at sweep entry — events
+// report this sweep's store traffic, not the process's lifetime totals.
+// Callers invoke the returned function only from serialized hook sites.
+func (o *Options) stamper() func(Event) Event {
+	if o.StoreCounters == nil {
+		return func(e Event) Event { return e }
+	}
+	baseHits, baseMisses := o.StoreCounters()
+	return func(e Event) Event {
+		h, m := o.StoreCounters()
+		e.StoreHits, e.StoreMisses = h-baseHits, m-baseMisses
+		return e
+	}
 }
 
 // Func executes one spec. It must be pure: all randomness derived from
@@ -104,6 +132,7 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	stamp := opt.stamper()
 
 	if workers == 1 {
 		for i, s := range specs {
@@ -116,8 +145,8 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 			}
 			out, err := fn(s, s.Seed(opt.Root))
 			if opt.Hook != nil {
-				opt.Hook(Event{Spec: s, Index: i, Done: i + 1, Total: n,
-					Elapsed: elapsed(), Err: err})
+				opt.Hook(stamp(Event{Spec: s, Index: i, Done: i + 1, Total: n,
+					Elapsed: elapsed(), Err: err}))
 			}
 			if err != nil {
 				return nil, fmt.Errorf("%s point %d rep %d: %w",
@@ -165,8 +194,8 @@ func Execute[T any](specs []Spec, fn Func[T], opt Options) ([]T, error) {
 					results[i] = out
 				}
 				if opt.Hook != nil {
-					opt.Hook(Event{Spec: s, Index: i, Done: done, Total: n,
-						Elapsed: elapsed(), Err: err})
+					opt.Hook(stamp(Event{Spec: s, Index: i, Done: done, Total: n,
+						Elapsed: elapsed(), Err: err}))
 				}
 				mu.Unlock()
 			}
@@ -201,8 +230,13 @@ func stopwatch() stopfunc {
 // with the run's label, wall time, and sweep completion count. Sweeps
 // scheduled through ExecuteSegments additionally report work stealing:
 // once any segment has been stolen, each line carries the running count of
-// segments a worker took from another worker's deque.
+// segments a worker took from another worker's deque. When a result store
+// is wired (Options.StoreCounters), each line reports whether the run was
+// served from the store ([hit]) or simulated and written back ([miss]),
+// attributed by diffing consecutive events' cumulative counters — safe
+// because hooks are never called concurrently.
 func Progress(w io.Writer) Hook {
+	var prevHits, prevMisses uint64
 	return func(e Event) {
 		status := "done"
 		if e.Err != nil {
@@ -216,8 +250,21 @@ func Progress(w io.Writer) Hook {
 		if e.SegmentsStolen > 0 {
 			steal = fmt.Sprintf(" [%d stolen]", e.SegmentsStolen)
 		}
-		fmt.Fprintf(w, "[%d/%d] %s: %s rep %d %s (%s)%s\n",
+		store := ""
+		hits, misses := e.StoreHits > prevHits, e.StoreMisses > prevMisses
+		switch {
+		case hits && misses:
+			// A spec that ran several channel runs (e.g. an averaged point)
+			// can land on both sides of the store in one event.
+			store = " [hit+miss]"
+		case hits:
+			store = " [hit]"
+		case misses:
+			store = " [miss]"
+		}
+		prevHits, prevMisses = e.StoreHits, e.StoreMisses
+		fmt.Fprintf(w, "[%d/%d] %s: %s rep %d %s (%s)%s%s\n",
 			e.Done, e.Total, e.Spec.Experiment, label, e.Spec.Rep, status,
-			e.Elapsed.Round(time.Millisecond), steal)
+			e.Elapsed.Round(time.Millisecond), steal, store)
 	}
 }

@@ -48,6 +48,7 @@ func ExecuteSegments[T any](specs []Spec, deps [][]int, fn Func[T], opt Options)
 	if workers > n {
 		workers = n
 	}
+	stamp := opt.stamper()
 	if workers == 1 {
 		// Index order satisfies every dependency; this is the reference
 		// path the golden conformance tests pin the parallel path against.
@@ -58,8 +59,8 @@ func ExecuteSegments[T any](specs []Spec, deps [][]int, fn Func[T], opt Options)
 			}
 			out, err := fn(s, s.Seed(opt.Root))
 			if opt.Hook != nil {
-				opt.Hook(Event{Spec: s, Index: i, Done: i + 1, Total: n,
-					Elapsed: elapsed(), Err: err, SegmentsDone: i + 1})
+				opt.Hook(stamp(Event{Spec: s, Index: i, Done: i + 1, Total: n,
+					Elapsed: elapsed(), Err: err, SegmentsDone: i + 1}))
 			}
 			if err != nil {
 				return nil, fmt.Errorf("%s point %d rep %d: %w",
@@ -133,9 +134,9 @@ func ExecuteSegments[T any](specs []Spec, deps [][]int, fn Func[T], opt Options)
 				st.pending--
 				if opt.Hook != nil {
 					// Under the lock: hooks are never called concurrently.
-					opt.Hook(Event{Spec: s, Index: i, Done: st.done, Total: n,
+					opt.Hook(stamp(Event{Spec: s, Index: i, Done: st.done, Total: n,
 						Elapsed: elapsed(), Err: err,
-						SegmentsDone: st.done, SegmentsStolen: st.stolen})
+						SegmentsDone: st.done, SegmentsStolen: st.stolen}))
 				}
 				st.mu.Unlock()
 				st.cond.Broadcast()
