@@ -36,6 +36,7 @@ import (
 	"streamline/internal/core"
 	"streamline/internal/experiments"
 	"streamline/internal/hier"
+	"streamline/internal/loadgen"
 	"streamline/internal/mem"
 	"streamline/internal/params"
 	"streamline/internal/payload"
@@ -86,6 +87,13 @@ type Report struct {
 	// informational (compare ignores it): wall times of full experiment
 	// regeneration, cold versus store-served.
 	ExpAll *ExpAll `json:"exp_all,omitempty"`
+	// Loadgen is present when the report was taken with -loadgen: a
+	// closed-loop warm-memory-tier pass of the deterministic load
+	// generator against an in-process store (internal/loadgen). Like
+	// ExpAll it is informational — compare ignores it — but the qps and
+	// p99_ns fields are what the serving-path acceptance numbers in
+	// EXPERIMENTS.md quote.
+	Loadgen *loadgen.Result `json:"loadgen,omitempty"`
 }
 
 func main() {
@@ -99,6 +107,7 @@ func main() {
 		count     = flag.Int("count", 1, "measure each benchmark this many times and keep the fastest (repetition damps scheduler noise)")
 		compareTo = flag.Bool("compare", false, "compare two existing reports (old.json new.json) and exit; no benchmarks run")
 		expall    = flag.Bool("expall", false, "also time a cold and a warm full `-exp all` pass through a fresh result store (minutes; recorded under exp_all)")
+		loadgenF  = flag.Bool("loadgen", false, "also run the deterministic load generator closed-loop against a warm in-process store (recorded under loadgen)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this path (source of cmd/bench/default.pgo)")
 		memprof   = flag.String("memprofile", "", "write a heap profile (taken after the benchmarks, post-GC) to this path")
 	)
@@ -239,6 +248,17 @@ func main() {
 			ea.ColdSeconds, ea.ColdMisses, ea.WarmSeconds, ea.WarmHits)
 	}
 
+	if *loadgenF {
+		lg, err := measureLoadgen()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: -loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		rep.Loadgen = lg
+		fmt.Printf("loadgen %.0f req/s  p50 %v  p99 %v  hit ratio %.3f\n",
+			lg.QPS, lg.P50, lg.P99, lg.HitRatio)
+	}
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rep.Date + ".json"
@@ -305,6 +325,40 @@ func measureExpAll() (*ExpAll, error) {
 	warm := st.Stats()
 	ea.WarmHits, ea.WarmMisses = warm.Hits-cold.Hits, warm.Misses-cold.Misses
 	return ea, nil
+}
+
+// measureLoadgen runs the deterministic load generator closed-loop
+// against a freshly populated in-process store with the default memory
+// tier: the canonical warm-serving number. The workload trace is a pure
+// function of the fixed config below, so successive reports measure the
+// identical request sequence.
+func measureLoadgen() (*loadgen.Result, error) {
+	dir, err := os.MkdirTemp("", "bench-loadgen-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cfg := loadgen.Config{
+		Keys: 1024, ValueBytes: 4096, Requests: 500_000,
+		Workers: 8, ZipfS: 1.1, Seed: 1,
+	}
+	if err := loadgen.Populate(st, cfg); err != nil {
+		return nil, err
+	}
+	// One untimed pass makes the popular tail memory-resident so the
+	// measured pass is the steady warm-tier state, not the fill.
+	if _, err := loadgen.Run(loadgen.StoreTarget{Store: st}, cfg); err != nil {
+		return nil, err
+	}
+	res, err := loadgen.Run(loadgen.StoreTarget{Store: st}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
 }
 
 // today stamps the report and default filename.
@@ -422,8 +476,10 @@ func suite(scale float64) []bench {
 	// Result-store round trips on a table2-sized channel point. store/miss
 	// runs cold with write-back (a fresh seed per op keeps every key cold),
 	// so its delta over channel/default is the keying + encode + write
-	// overhead; store/hit serves one pre-computed entry per op, which is
-	// the whole point of the store — its sim-KB/s is the warm serve rate.
+	// overhead; store/hit serves one pre-computed entry per op from the
+	// default memory tier — its sim-KB/s is the warm serve rate the
+	// daemon's hot path sees (store/diskhit below is the same serve with
+	// the tier off).
 	storeBits := scaled(100_000, scale)
 	var storeMissErr float64
 	suite = append(suite, bench{
@@ -489,6 +545,50 @@ func suite(scale float64) []bench {
 			b.StopTimer()
 			if s := st.Stats(); s.Hits < uint64(b.N) {
 				b.Fatalf("store served %d of %d ops; the hit benchmark is simulating", s.Hits, b.N)
+			}
+		},
+	})
+
+	// The same warm serve with the memory tier disabled: every hit reads
+	// and decodes the on-disk envelope. store/hit over store/diskhit is
+	// the memory tier's win; diskhit over miss is still the store's win.
+	var storeDiskErr float64
+	suite = append(suite, bench{
+		name:      "store/diskhit",
+		bitsPerOp: storeBits,
+		simErrPct: func() float64 { return storeDiskErr * 100 },
+		fn: func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "bench-store-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			st, err := resultstore.Open(dir, resultstore.Options{MaxBytes: -1, MemBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer core.SetStore(core.SetStore(st))
+			pay := payload.Random(1, storeBits)
+			cfg := core.DefaultConfig()
+			cfg.Seed = 1
+			if _, err := core.Run(cfg, pay); err != nil { // populate the entry
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(cfg, pay)
+				if err != nil {
+					b.Fatal(err)
+				}
+				storeDiskErr = res.Errors.Rate()
+			}
+			b.StopTimer()
+			if s := st.Stats(); s.Hits < uint64(b.N) {
+				b.Fatalf("store served %d of %d ops; the hit benchmark is simulating", s.Hits, b.N)
+			}
+			if s := st.Stats(); s.MemHits != 0 {
+				b.Fatalf("disabled memory tier served %d hits", s.MemHits)
 			}
 		},
 	})

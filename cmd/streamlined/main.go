@@ -27,6 +27,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"streamline/internal/daemon"
 	"streamline/internal/resultstore"
 )
 
@@ -35,6 +36,7 @@ func main() {
 		listen   = flag.String("listen", ":8080", "address to serve HTTP on")
 		storeDir = flag.String("store", "", "result-store directory (required)")
 		maxBytes = flag.Int64("store-max-bytes", 0, "store size budget in bytes (0 = 2 GiB default, negative = unbounded)")
+		memBytes = flag.Int64("store-mem-bytes", 0, "in-memory tier budget in bytes (0 = 256 MiB default, negative = disabled)")
 		queueCap = flag.Int("queue", 64, "job queue capacity; submits beyond it get 503")
 		jobs     = flag.Int("jobs", 1, "jobs run concurrently (each job still fans its runs across its own worker pool)")
 	)
@@ -46,6 +48,7 @@ func main() {
 	}
 	st, err := resultstore.Open(*storeDir, resultstore.Options{
 		MaxBytes: *maxBytes,
+		MemBytes: *memBytes,
 		Log:      func(format string, args ...any) { fmt.Fprintf(os.Stderr, "streamlined: store: "+format+"\n", args...) },
 	})
 	if err != nil {
@@ -53,8 +56,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := newServer(st, *queueCap, *jobs)
-	httpSrv := &http.Server{Addr: *listen, Handler: srv.handler()}
+	srv := daemon.NewServer(st, *queueCap, *jobs)
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -72,7 +75,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamlined: %v\n", err)
 		os.Exit(1)
 	}
-	srv.drain()
+	srv.Drain()
 	s := st.Stats()
 	fmt.Fprintf(os.Stderr, "streamlined: drained; store: %d entries, %d hits, %d misses\n",
 		s.Entries, s.Hits, s.Misses)

@@ -123,6 +123,28 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	// A remote -exp all goes up as one batch job: the daemon runs every
+	// experiment through a single combined runner plan (one pool checkout,
+	// one progress hook), and the tables come back in submission order.
+	if *remote != "" && len(ids) > 1 {
+		done := prog.begin("all (batch)")
+		tabs, err := runRemoteBatch(*remote, remoteBatch{
+			Exps: ids, Seed: *seed, Runs: *runs, Quick: *quick, Full: *full, Workers: *workers,
+		}, prog.runWriter())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tab := range tabs {
+			if *csv {
+				tab.FormatCSV(os.Stdout)
+			} else {
+				tab.Format(os.Stdout)
+			}
+		}
+		done()
+		return
+	}
 	for _, id := range ids {
 		done := prog.begin(id)
 		var tab *experiments.Table

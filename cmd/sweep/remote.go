@@ -3,6 +3,16 @@
 // is tailed to stderr, and the finished table is fetched and formatted
 // exactly as a local run would be. The daemon's shared result store means
 // a sweep anyone ran before comes back in seconds.
+//
+// Transient failures — connection errors and 5xx responses, including the
+// daemon shedding load with 503 — retry with bounded exponential backoff.
+// The backoff decision logic is clock-free: each delay is the attempt
+// index's power-of-two base scaled by jitter from a PRNG stream seeded
+// off the job, so a retry schedule is reproducible from the flags alone
+// (the host clock appears only inside the annotated Sleep that paces it).
+// Resubmitting after an ambiguous failure is safe: the daemon's
+// singleflight table coalesces a duplicate of a still-running job, and
+// its result store serves a duplicate of a finished one.
 package main
 
 import (
@@ -12,8 +22,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"streamline/internal/experiments"
+	"streamline/internal/rng"
 )
 
 // remoteJob mirrors the daemon's jobRequest body.
@@ -26,13 +38,88 @@ type remoteJob struct {
 	Workers int    `json:"workers"`
 }
 
+// remoteBatch mirrors the daemon's batchRequest body (POST /jobs/batch):
+// every listed experiment runs through one combined runner plan.
+type remoteBatch struct {
+	Exps    []string `json:"exps"`
+	Seed    uint64   `json:"seed"`
+	Runs    int      `json:"runs"`
+	Quick   bool     `json:"quick"`
+	Full    bool     `json:"full"`
+	Workers int      `json:"workers"`
+}
+
 // remoteStatus mirrors the daemon's jobStatus body (the fields the client
 // consumes).
 type remoteStatus struct {
-	ID    string             `json:"id"`
-	State string             `json:"state"`
-	Table *experiments.Table `json:"table"`
-	Error string             `json:"error"`
+	ID     string               `json:"id"`
+	State  string               `json:"state"`
+	Table  *experiments.Table   `json:"table"`
+	Tables []*experiments.Table `json:"tables"`
+	Error  string               `json:"error"`
+}
+
+const (
+	retryAttempts = 5
+	retryBase     = 200 * time.Millisecond
+	retryCap      = 5 * time.Second
+)
+
+// retrier retries transient HTTP failures with bounded exponential
+// backoff and seeded jitter. One retrier serves a whole remote run, so
+// the jitter stream advances across calls and no two delays repeat.
+type retrier struct {
+	jitter *rng.Xoshiro
+	prog   io.Writer // retry notices, next to the progress lines; may be nil
+}
+
+func newRetrier(seed uint64, label string, prog io.Writer) *retrier {
+	return &retrier{
+		jitter: rng.New(rng.Derive(seed, rng.HashString("remote-retry"), rng.HashString(label))),
+		prog:   prog,
+	}
+}
+
+// do runs fn until it returns a non-5xx response, retrying connection
+// errors and 5xx statuses up to retryAttempts times. 4xx responses are
+// returned to the caller: they are the daemon rejecting the request, not
+// a blip worth retrying.
+func (r *retrier) do(what string, fn func() (*http.Response, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			r.backoff(what, attempt, lastErr)
+		}
+		resp, err := fn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusServiceUnavailable {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("daemon returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%s: giving up after %d attempts: %w", what, retryAttempts, lastErr)
+}
+
+// backoff sleeps before retry number attempt (1-based). The duration is
+// decided without reading the clock: base 200ms doubling per attempt,
+// capped at 5s, scaled by a seeded jitter factor in [0.5, 1.5).
+func (r *retrier) backoff(what string, attempt int, cause error) {
+	d := retryBase << (attempt - 1)
+	if d > retryCap {
+		d = retryCap
+	}
+	d = time.Duration(float64(d) * (0.5 + r.jitter.Float64()))
+	if r.prog != nil {
+		fmt.Fprintf(r.prog, "[%s: transient failure (%v); retry %d/%d in %s]\n",
+			what, cause, attempt, retryAttempts-1, d.Round(time.Millisecond))
+	}
+	time.Sleep(d) //detlint:allow wallclock -- retry pacing on the remote-client display path; the delay derives from the attempt index and a seeded jitter stream, never from a clock read
 }
 
 // runRemote executes one experiment on the daemon at base and returns its
@@ -45,43 +132,99 @@ func runRemote(base string, job remoteJob, prog io.Writer) (*experiments.Table, 
 	if err != nil {
 		return nil, err
 	}
-	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	rt := newRetrier(job.Seed, "job:"+job.Exp, prog)
+	st, err := remoteRun(rt, base, "/jobs", body, prog)
 	if err != nil {
-		return nil, fmt.Errorf("submit to %s: %w", base, err)
+		return nil, fmt.Errorf("%s: %w", job.Exp, err)
 	}
-	ack, err := decodeRemote(resp, http.StatusAccepted)
-	if err != nil {
-		return nil, fmt.Errorf("submit %s: %w", job.Exp, err)
-	}
-
-	stream, err := http.Get(base + "/jobs/" + ack.ID + "/progress")
-	if err != nil {
-		return nil, fmt.Errorf("stream %s: %w", ack.ID, err)
-	}
-	if prog == nil {
-		prog = io.Discard
-	}
-	_, copyErr := io.Copy(prog, stream.Body)
-	stream.Body.Close()
-	if copyErr != nil {
-		return nil, fmt.Errorf("stream %s: %w", ack.ID, copyErr)
-	}
-
-	resp, err = http.Get(base + "/jobs/" + ack.ID)
-	if err != nil {
-		return nil, fmt.Errorf("fetch %s: %w", ack.ID, err)
-	}
-	st, err := decodeRemote(resp, http.StatusOK)
-	if err != nil {
-		return nil, fmt.Errorf("fetch %s: %w", ack.ID, err)
-	}
-	switch {
-	case st.State == "failed":
-		return nil, fmt.Errorf("%s failed remotely: %s", job.Exp, st.Error)
-	case st.Table == nil:
+	if st.Table == nil {
 		return nil, fmt.Errorf("%s finished in state %q without a table", job.Exp, st.State)
 	}
 	return st.Table, nil
+}
+
+// runRemoteBatch executes several experiments as one daemon batch job
+// (one combined runner plan server-side) and returns the tables in the
+// order submitted.
+func runRemoteBatch(base string, batch remoteBatch, prog io.Writer) ([]*experiments.Table, error) {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return nil, err
+	}
+	rt := newRetrier(batch.Seed, "batch", prog)
+	st, err := remoteRun(rt, base, "/jobs/batch", body, prog)
+	if err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
+	if len(st.Tables) != len(batch.Exps) {
+		return nil, fmt.Errorf("batch finished in state %q with %d tables, want %d",
+			st.State, len(st.Tables), len(batch.Exps))
+	}
+	return st.Tables, nil
+}
+
+// remoteRun is the shared submit → tail → fetch flow: POST body to path,
+// stream the job's progress until EOF, then fetch and decode its final
+// status. Every HTTP leg retries transient failures through rt.
+func remoteRun(rt *retrier, base, path string, body []byte, prog io.Writer) (remoteStatus, error) {
+	resp, err := rt.do("submit", func() (*http.Response, error) {
+		return http.Post(base+path, "application/json", bytes.NewReader(body))
+	})
+	if err != nil {
+		return remoteStatus{}, err
+	}
+	ack, err := decodeRemote(resp, http.StatusAccepted)
+	if err != nil {
+		return remoteStatus{}, fmt.Errorf("submit: %w", err)
+	}
+
+	if prog == nil {
+		prog = io.Discard
+	}
+	// A stream that dies mid-copy re-tails from the start: the daemon
+	// replays the job's whole line buffer, so EOF still means done. The
+	// replayed prefix may repeat on stderr; the table fetch below is what
+	// carries results.
+	streamResp, err := rt.do("stream "+ack.ID, func() (*http.Response, error) {
+		stream, err := http.Get(base + "/jobs/" + ack.ID + "/progress")
+		if err != nil {
+			return nil, err
+		}
+		if stream.StatusCode != http.StatusOK {
+			return stream, nil // 5xx retries in do(); 4xx surfaces below
+		}
+		_, copyErr := io.Copy(prog, stream.Body)
+		stream.Body.Close()
+		if copyErr != nil {
+			return nil, copyErr
+		}
+		return stream, nil
+	})
+	if err != nil {
+		return remoteStatus{}, err
+	}
+	if streamResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(streamResp.Body, 4096))
+		streamResp.Body.Close()
+		return remoteStatus{}, fmt.Errorf("stream %s: daemon returned %s: %s",
+			ack.ID, streamResp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	resp, err = rt.do("fetch "+ack.ID, func() (*http.Response, error) {
+		return http.Get(base + "/jobs/" + ack.ID)
+	})
+	if err != nil {
+		return remoteStatus{}, err
+	}
+	st, err := decodeRemote(resp, http.StatusOK)
+	if err != nil {
+		return remoteStatus{}, fmt.Errorf("fetch %s: %w", ack.ID, err)
+	}
+	if st.State == "failed" {
+		return remoteStatus{}, fmt.Errorf("failed remotely: %s", st.Error)
+	}
+	return st, nil
 }
 
 // decodeRemote checks the response status and decodes the job body.

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// flaky is a handler whose first failures-many responses to each path are
+// 503s; after that it delegates to ok.
+type flaky struct {
+	failures int32
+	seen     atomic.Int32
+	ok       http.Handler
+}
+
+func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.seen.Add(1) <= f.failures {
+		http.Error(w, "temporarily overloaded", http.StatusServiceUnavailable)
+		return
+	}
+	f.ok.ServeHTTP(w, r)
+}
+
+// stubDaemon answers the three remote-client endpoints for one canned job.
+func stubDaemon(state string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-1","state":"queued"}`)
+	})
+	mux.HandleFunc("GET /jobs/job-1/progress", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "run 1/1 done")
+	})
+	mux.HandleFunc("GET /jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"id":"job-1","state":%q,"table":{"ID":"table1","Title":"t","Header":["h"],"Rows":[["v"]]}}`, state)
+	})
+	return mux
+}
+
+// TestRemoteRetriesTransientErrors pins the backoff satellite: a daemon
+// that sheds the first submits with 503 still serves the sweep, and the
+// retry notices land on the progress writer.
+func TestRemoteRetriesTransientErrors(t *testing.T) {
+	f := &flaky{failures: 2, ok: stubDaemon("done")}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	var prog strings.Builder
+	tab, err := runRemote(ts.URL, remoteJob{Exp: "table1", Seed: 1}, &prog)
+	if err != nil {
+		t.Fatalf("runRemote with transient 503s: %v", err)
+	}
+	if tab == nil || tab.ID != "table1" {
+		t.Fatalf("table = %+v", tab)
+	}
+	if got := prog.String(); !strings.Contains(got, "retry 1/") || !strings.Contains(got, "retry 2/") {
+		t.Errorf("progress missing retry notices:\n%s", got)
+	}
+}
+
+// TestRemoteGivesUpAfterBudget: a daemon that never recovers exhausts the
+// bounded attempt budget instead of hanging the sweep.
+func TestRemoteGivesUpAfterBudget(t *testing.T) {
+	f := &flaky{failures: 1 << 30, ok: stubDaemon("done")}
+	ts := httptest.NewServer(f)
+	defer ts.Close()
+
+	_, err := runRemote(ts.URL, remoteJob{Exp: "table1", Seed: 1}, nil)
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("want a giving-up error, got %v", err)
+	}
+	if n := f.seen.Load(); n != retryAttempts {
+		t.Errorf("made %d attempts, budget is %d", n, retryAttempts)
+	}
+}
+
+// TestRemoteDoesNotRetryRejections: a 4xx is the daemon refusing the
+// request; retrying would never help and must not happen.
+func TestRemoteDoesNotRetryRejections(t *testing.T) {
+	var posts atomic.Int32
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		posts.Add(1)
+		http.Error(w, "unknown experiment", http.StatusBadRequest)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	_, err := runRemote(ts.URL, remoteJob{Exp: "nope", Seed: 1}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want the daemon's rejection, got %v", err)
+	}
+	if n := posts.Load(); n != 1 {
+		t.Errorf("4xx retried: %d submits", n)
+	}
+}
+
+// TestRemoteBatch drives the batch flow against a stub and checks table
+// order follows submission order.
+func TestRemoteBatch(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs/batch", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"job-9","state":"queued"}`)
+	})
+	mux.HandleFunc("GET /jobs/job-9/progress", func(w http.ResponseWriter, r *http.Request) {})
+	mux.HandleFunc("GET /jobs/job-9", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"job-9","state":"done","tables":[{"ID":"a"},{"ID":"b"}]}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	tabs, err := runRemoteBatch(ts.URL, remoteBatch{Exps: []string{"a", "b"}, Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 2 || tabs[0].ID != "a" || tabs[1].ID != "b" {
+		t.Fatalf("tables out of order: %+v", tabs)
+	}
+}

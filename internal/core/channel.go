@@ -9,6 +9,7 @@ import (
 	"streamline/internal/noise"
 	"streamline/internal/pattern"
 	"streamline/internal/payload"
+	"streamline/internal/resultstore"
 	"streamline/internal/rng"
 	"streamline/internal/sched"
 	"streamline/internal/stats"
@@ -96,9 +97,26 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 	}
 
 	hopt := buildHierOptions(&cfg)
-	// Build the transmitted bit stream early (it needs no simulator):
-	// optional ECC, an optional transient-burning preamble, then optional
-	// PRNG modulation. The chain machinery hashes it for memo and fork keys.
+
+	// Serve-before-build: the store key depends only on config and payload
+	// (store.go), never on the transmitted stream, so an unchained run
+	// consults the durable store before spending anything on ECC, preamble,
+	// or modulation. Under warm serving traffic the whole call is a key
+	// hash plus a memory-tier read. Chained runs build the stream first —
+	// the chain machinery hashes it for memo and fork keys, and the memo
+	// is cheaper than the store for them.
+	var served *Result
+	var sKey resultstore.Key
+	var storable bool
+	if cfg.Chain == nil {
+		if served, sKey, storable = storeLookup(&cfg, payloadBits); served != nil {
+			return served, nil
+		}
+	}
+
+	// Build the transmitted bit stream (it needs no simulator): optional
+	// ECC, an optional transient-burning preamble, then optional PRNG
+	// modulation.
 	chanBits := payloadBits
 	if cfg.ECC {
 		chanBits = ecc.Encode(payloadBits)
@@ -120,16 +138,14 @@ func Run(cfg Config, payloadBits []byte) (*Result, error) {
 		if res := memoLookup(chain.memoKey); res != nil {
 			return res, nil
 		}
-	}
-	// Durable result store (store.go): a bit-identical run completed by any
-	// earlier process is served as a disk read, before any simulator is
-	// checked out. A hit also primes the chain memo for this run's siblings.
-	served, sKey, storable := storeLookup(&cfg, payloadBits)
-	if served != nil {
-		if chain != nil {
+		// Durable store, after the memo: a bit-identical run completed by
+		// any earlier process is served as a store read, before any
+		// simulator is checked out. A hit also primes the chain memo for
+		// this run's siblings.
+		if served, sKey, storable = storeLookup(&cfg, payloadBits); served != nil {
 			memoStore(chain.memoKey, served)
+			return served, nil
 		}
-		return served, nil
 	}
 	var lease *simLease
 	var fork *chainCheckpoint

@@ -23,6 +23,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -77,8 +78,9 @@ func ReadRunCounters() RunCounters {
 // storeKeySchema versions the canonical key encoding AND the Result codec
 // below: any change to either — a field added to the encoding, a codec
 // layout change — must bump it, which retires every old entry by changing
-// its key rather than risking a misdecode.
-const storeKeySchema = "streamline-core-result-v1"
+// its key rather than risking a misdecode. v2 packed the payload 8 bits
+// per hashed byte (see payloadKeyBits).
+const storeKeySchema = "streamline-core-result-v2"
 
 // storeKey derives the content address for one Run: an explicit
 // field-by-field canonical encoding of everything that steers the
@@ -98,7 +100,7 @@ func storeKey(cfg *Config, payloadBits []byte) (resultstore.Key, bool) {
 	if cfg.Pattern != nil || cfg.LLCPolicy != nil {
 		return resultstore.Key{}, false
 	}
-	e := newEnc(64 + len(payloadBits))
+	e := newEnc(512 + len(payloadBits)/8 + 1)
 	e.str(storeKeySchema)
 	e.u64(cfg.Machine.Fingerprint())
 	e.i(cfg.ArraySize)
@@ -163,8 +165,47 @@ func storeKey(cfg *Config, payloadBits []byte) (resultstore.Key, bool) {
 	e.u64(cfg.CounterWindow)
 	e.i(cfg.GapClamp)
 	// Chain: excluded by design; see package comment.
-	e.bytes(payloadBits)
+	e.payloadKeyBits(payloadBits)
 	return resultstore.KeyOf(e.b), true
+}
+
+// payloadKeyBits appends the payload to the key encoding. Payloads are
+// 0/1 vectors by contract, so the canonical form packs 8 bits per hashed
+// byte: SHA-256 over the key bytes dominates the warm-hit serving path at
+// paper payload sizes, and packing cuts the hashed volume 8x. A payload
+// byte above 1 is out of contract but conceivable from a caller; it
+// rewinds to the raw one-byte-per-bit form under a distinct tag, so the
+// two encodings can never alias.
+func (e *enc) payloadKeyBits(p []byte) {
+	mark := len(e.b)
+	e.bool(true) // packed form
+	e.i(len(p))  // length in bits (so a packed tail byte cannot alias a shorter payload)
+	// Eight bytes per step: the multiplier gathers each byte's low bit
+	// into the product's top byte (bit k of the result is byte k's low
+	// bit; the contributions land on distinct bit positions, so no
+	// carries). bad accumulates any bit outside the low bit of each byte.
+	var bad uint64
+	const low = 0x0101010101010101
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		w := binary.LittleEndian.Uint64(p[i:])
+		bad |= w &^ low
+		e.b = append(e.b, byte((w*0x0102040810204080)>>56))
+	}
+	if i < len(p) {
+		var tail byte
+		for j := 0; i+j < len(p); j++ {
+			b := p[i+j]
+			bad |= uint64(b &^ 1)
+			tail |= (b & 1) << j
+		}
+		e.b = append(e.b, tail)
+	}
+	if bad != 0 {
+		e.b = e.b[:mark]
+		e.bool(false) // raw form
+		e.bytes(p)
+	}
 }
 
 // storeLookup consults the durable store for cfg × payload. On a hit it

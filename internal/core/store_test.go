@@ -14,6 +14,7 @@ import (
 	"streamline/internal/params"
 	"streamline/internal/payload"
 	"streamline/internal/resultstore"
+	"streamline/internal/rng"
 	"streamline/internal/statetest"
 	"streamline/internal/stats"
 )
@@ -372,6 +373,16 @@ func TestRunStoreCorruptFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The writer handle's memory tier still holds the pristine bytes (and
+	// would correctly keep serving them). Disk corruption is observed by
+	// the next process, whose memory tier starts cold: model it with a
+	// fresh handle over the same directory.
+	st, err = resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(st)
+
 	before := ReadRunCounters()
 	again := run(t, cfg, bits)
 	after := ReadRunCounters()
@@ -425,5 +436,73 @@ func TestStoreIneligibleConfigBypasses(t *testing.T) {
 	}
 	if after.StoreHits != before.StoreHits || after.StoreMisses != before.StoreMisses {
 		t.Error("ineligible config moved the store counters")
+	}
+}
+
+// TestPayloadKeyBits pins the packed payload encoding the key derivation
+// hashes: the word-at-a-time packer must agree bit-for-bit with the
+// obvious scalar packer at every alignment, out-of-contract payloads
+// (a byte above 1) must rewind to the tagged raw form, and neither form
+// may alias the other or a different payload.
+func TestPayloadKeyBits(t *testing.T) {
+	encode := func(p []byte) string {
+		e := newEnc(0)
+		e.payloadKeyBits(p)
+		return string(e.b)
+	}
+	// Scalar reference: tag, bit length, then bit i of the payload at
+	// bit position i&7 of packed byte i>>3.
+	reference := func(p []byte) string {
+		e := newEnc(0)
+		e.bool(true)
+		e.i(len(p))
+		packed := make([]byte, (len(p)+7)/8)
+		for i, b := range p {
+			packed[i>>3] |= (b & 1) << (i & 7)
+		}
+		e.b = append(e.b, packed...)
+		return string(e.b)
+	}
+	r := rng.New(99)
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 64, 100, 1000, 1023} {
+		p := make([]byte, n)
+		for i := range p {
+			p[i] = byte(r.Uint64() & 1)
+		}
+		if got, want := encode(p), reference(p); got != want {
+			t.Fatalf("len %d: packed encoding diverges from the scalar reference", n)
+		}
+	}
+
+	// Distinct 0/1 payloads must encode distinctly (injectivity within
+	// the packed form), including across lengths that pack to the same
+	// byte count.
+	if encode([]byte{1, 0, 1}) == encode([]byte{1, 0, 1, 0}) {
+		t.Error("payload length aliases in the packed form")
+	}
+	if encode([]byte{1, 0, 1}) == encode([]byte{1, 1, 1}) {
+		t.Error("payload content aliases in the packed form")
+	}
+
+	// An out-of-contract byte falls back to the raw form — at any
+	// position a word or tail scan could miss — and the raw form cannot
+	// alias the packed form of the payload it would pack to.
+	for _, pos := range []int{0, 3, 7, 8, 12, 15} {
+		p := make([]byte, 16)
+		p[pos] = 2
+		e := newEnc(0)
+		e.bytes(nil) // placeholder so raw/packed prefixes differ from empty
+		raw := newEnc(0)
+		raw.bool(false)
+		raw.bytes(p)
+		e2 := newEnc(0)
+		e2.payloadKeyBits(p)
+		if string(e2.b) != string(raw.b) {
+			t.Fatalf("byte 2 at %d: did not rewind to the raw form", pos)
+		}
+		lowbits := make([]byte, 16) // what p would pack to if &1 were applied
+		if string(e2.b) == encode(lowbits) {
+			t.Fatalf("byte 2 at %d: raw form aliases the packed low-bit payload", pos)
+		}
 	}
 }

@@ -1,0 +1,426 @@
+package daemon
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamline/internal/core"
+	"streamline/internal/experiments"
+	"streamline/internal/resultstore"
+)
+
+// testClient wraps the daemon's HTTP surface with the submit/tail/status
+// helpers every test here needs.
+type testClient struct {
+	t  *testing.T
+	ts *httptest.Server
+}
+
+func (c *testClient) submit(body string) jobStatus {
+	c.t.Helper()
+	resp, err := http.Post(c.ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		c.t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var js jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		c.t.Fatal(err)
+	}
+	if js.ID == "" || js.State != "queued" {
+		c.t.Fatalf("submit: unexpected ack %+v", js)
+	}
+	return js
+}
+
+// tail blocks on the progress stream until the job finishes (EOF) and
+// returns everything streamed.
+func (c *testClient) tail(id string) string {
+	c.t.Helper()
+	resp, err := http.Get(c.ts.URL + "/jobs/" + id + "/progress")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return string(b)
+}
+
+func (c *testClient) status(id string) jobStatus {
+	c.t.Helper()
+	resp, err := http.Get(c.ts.URL + "/jobs/" + id)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var js jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		c.t.Fatal(err)
+	}
+	return js
+}
+
+// startServer builds a server plus test client and restores the previous
+// process-wide store binding on cleanup (NewServer rebinds it).
+func startServer(t *testing.T, st *resultstore.Store, queueCap, workers int) (*Server, *testClient) {
+	t.Helper()
+	prevStore := core.ActiveStore()
+	srv := NewServer(st, queueCap, workers)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain()
+		core.SetStore(prevStore)
+	})
+	return srv, &testClient{t: t, ts: ts}
+}
+
+// The end-to-end contract of the daemon: a job submitted over HTTP runs to
+// completion with streamed progress; resubmitting the identical job after
+// it finished is answered from the result store — the hit counter moves
+// and no simulator is checked out.
+func TestDaemonEndToEnd(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startServer(t, st, 4, 1)
+
+	const body = `{"exp":"ablation-ratelimit","seed":7,"quick":true,"workers":2}`
+	id1 := c.submit(body).ID
+	progress := c.tail(id1)
+	if !strings.Contains(progress, "ablation-ratelimit") || !strings.Contains(progress, "done") {
+		t.Errorf("progress stream missing runner hook lines:\n%s", progress)
+	}
+	cold := c.status(id1)
+	if cold.State != "done" || cold.Table == nil || cold.Table.ID != "ablation-ratelimit" {
+		t.Fatalf("cold job did not finish with a table: %+v", cold)
+	}
+
+	simsAfterCold := core.ReadRunCounters().Sims
+	hitsAfterCold := st.Stats().Hits
+	if simsAfterCold == 0 {
+		t.Fatal("cold job checked out no simulator — the test is not exercising the serve path")
+	}
+
+	id2 := c.submit(body).ID
+	if id2 == id1 {
+		t.Fatalf("job ids must be unique, got %s twice", id1)
+	}
+	if warmProgress := c.tail(id2); !strings.Contains(warmProgress, "[hit]") {
+		t.Errorf("warm progress lines should mark served runs with [hit]:\n%s", warmProgress)
+	}
+	warm := c.status(id2)
+	if warm.State != "done" {
+		t.Fatalf("warm job state %q, error %q", warm.State, warm.Error)
+	}
+	if !reflect.DeepEqual(warm.Table, cold.Table) {
+		t.Errorf("warm table differs from cold table\nwarm %+v\ncold %+v", warm.Table, cold.Table)
+	}
+	if got := core.ReadRunCounters().Sims; got != simsAfterCold {
+		t.Errorf("warm job checked out %d simulators; identical resubmits must be served from the store", got-simsAfterCold)
+	}
+	if got := st.Stats().Hits; got <= hitsAfterCold {
+		t.Errorf("store hits did not move on resubmit: %d -> %d", hitsAfterCold, got)
+	}
+
+	// The stats endpoint reflects the same counters.
+	resp, err := http.Get(c.ts.URL + "/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats storeStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Store != st.Stats() {
+		t.Errorf("/store/stats store counters %+v != %+v", stats.Store, st.Stats())
+	}
+	if stats.Run.Sims != simsAfterCold {
+		t.Errorf("/store/stats run counters %+v; want Sims %d", stats.Run, simsAfterCold)
+	}
+	if stats.Dir != st.Dir() {
+		t.Errorf("/store/stats dir %q != %q", stats.Dir, st.Dir())
+	}
+}
+
+// TestSingleflightCoalesces is the issue's e2e proof: N identical
+// concurrent submissions cause exactly one simulation. The test hook holds
+// the leader in "running" so the followers' attach window is deterministic,
+// then compares the simulator-checkout delta against a solo run of the
+// same job measured beforehand.
+func TestSingleflightCoalesces(t *testing.T) {
+	prevStore := core.ActiveStore()
+	core.SetStore(nil) // no store: every non-coalesced job would simulate
+	defer core.SetStore(prevStore)
+
+	opts := experiments.Opts{Seed: 9, Quick: true, Workers: 2}
+	before := core.ReadRunCounters().Sims
+	soloTable, err := experiments.Run("ablation-ratelimit", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := core.ReadRunCounters().Sims - before
+	if solo == 0 {
+		t.Fatal("solo run checked out no simulator — nothing to coalesce")
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	testHookJobStart = func(*job) { close(started); <-release }
+	defer func() { testHookJobStart = nil }()
+
+	_, c := startServer(t, nil, 16, 1)
+
+	const body = `{"exp":"ablation-ratelimit","seed":9,"quick":true,"workers":2}`
+	lead := c.submit(body)
+	<-started // the leader is running, held at the hook
+	const followers = 3
+	var ids []string
+	for i := 0; i < followers; i++ {
+		f := c.submit(body)
+		if f.Leader != lead.ID {
+			t.Fatalf("submission %d did not coalesce: leader %q, want %q", i, f.Leader, lead.ID)
+		}
+		ids = append(ids, f.ID)
+	}
+	simsAtRelease := core.ReadRunCounters().Sims
+	close(release)
+
+	leaderProgress := c.tail(lead.ID)
+	leaderStatus := c.status(lead.ID)
+	if leaderStatus.State != "done" {
+		t.Fatalf("leader finished %q: %s", leaderStatus.State, leaderStatus.Error)
+	}
+	if !reflect.DeepEqual(leaderStatus.Table, soloTable) {
+		t.Error("coalesced run's table differs from the solo run")
+	}
+	for _, id := range ids {
+		if got := c.tail(id); got != leaderProgress {
+			t.Errorf("follower %s progress differs from leader's:\n%q\nvs\n%q", id, got, leaderProgress)
+		}
+		fs := c.status(id)
+		if fs.State != "done" || fs.Leader != lead.ID {
+			t.Errorf("follower %s: state %q leader %q", id, fs.State, fs.Leader)
+		}
+		if !reflect.DeepEqual(fs.Table, leaderStatus.Table) {
+			t.Errorf("follower %s observed a different table than the leader", id)
+		}
+	}
+
+	if delta := core.ReadRunCounters().Sims - simsAtRelease; delta != solo {
+		t.Errorf("%d identical submissions checked out %d simulator runs, want %d (exactly one simulation)",
+			followers+1, delta, solo)
+	}
+
+	resp, err := http.Get(c.ts.URL + "/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats storeStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Coalesced != followers {
+		t.Errorf("coalesced counter = %d, want %d", stats.Coalesced, followers)
+	}
+}
+
+// TestConcurrentDuplicateSubmission is the race-detector workload for the
+// flight table: many goroutines submit the identical job at once, with no
+// test hook pacing them. Whatever interleaving the scheduler picks, every
+// submission must finish "done" with the same table.
+func TestConcurrentDuplicateSubmission(t *testing.T) {
+	_, c := startServer(t, nil, 32, 2)
+
+	const body = `{"exp":"ablation-ratelimit","seed":13,"quick":true,"workers":2}`
+	const n = 8
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[i] = c.submit(body).ID
+		}()
+	}
+	wg.Wait()
+
+	var want *experiments.Table
+	for _, id := range ids {
+		c.tail(id)
+		st := c.status(id)
+		if st.State != "done" {
+			t.Fatalf("job %s finished %q: %s", id, st.State, st.Error)
+		}
+		if want == nil {
+			want = st.Table
+		} else if !reflect.DeepEqual(st.Table, want) {
+			t.Errorf("job %s observed a different table", id)
+		}
+	}
+}
+
+// TestBatchEndpoint submits several experiments as one combined-plan job
+// and checks each returned table against a direct sequential run.
+func TestBatchEndpoint(t *testing.T) {
+	_, c := startServer(t, nil, 4, 1)
+
+	ack := func(body string) jobStatus {
+		t.Helper()
+		resp, err := http.Post(c.ts.URL+"/jobs/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("batch submit: status %d: %s", resp.StatusCode, b)
+		}
+		var js jobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+
+	exps := []string{"ablation-ratelimit", "ablation-prefetcher"}
+	js := ack(`{"exps":["ablation-ratelimit","ablation-prefetcher"],"seed":3,"quick":true,"workers":2}`)
+	c.tail(js.ID)
+	st := c.status(js.ID)
+	if st.State != "done" || len(st.Tables) != len(exps) {
+		t.Fatalf("batch job: state %q, %d tables (err %q)", st.State, len(st.Tables), st.Error)
+	}
+	for i, id := range exps {
+		want, err := experiments.Run(id, experiments.Opts{Seed: 3, Quick: true, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(st.Tables[i], want) {
+			t.Errorf("batch table %s differs from a direct run", id)
+		}
+	}
+
+	for name, body := range map[string]string{
+		"empty":     `{"exps":[]}`,
+		"unknown":   `{"exps":["nope"]}`,
+		"duplicate": `{"exps":["table1","table1"]}`,
+	} {
+		resp, err := http.Post(c.ts.URL+"/jobs/batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s batch: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestResultEndpoint covers the raw serving path: a stored payload comes
+// back byte-identical; bad keys and misses map to 400/404.
+func TestResultEndpoint(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := startServer(t, st, 1, 1)
+
+	payload := []byte("raw result payload")
+	key := resultstore.KeyOf(payload)
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(c.ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	if code, body := get("/results/" + key.String()); code != http.StatusOK || string(body) != string(payload) {
+		t.Errorf("GET stored key: %d %q", code, body)
+	}
+	if code, _ := get("/results/not-a-key"); code != http.StatusBadRequest {
+		t.Errorf("bad key: status %d, want 400", code)
+	}
+	if code, _ := get("/results/" + resultstore.KeyOf([]byte("absent")).String()); code != http.StatusNotFound {
+		t.Errorf("missing key: status %d, want 404", code)
+	}
+	// The first GET was the disk read making the entry resident (the Put
+	// also inserted it); a repeat GET must be a memory-tier hit.
+	if code, _ := get("/results/" + key.String()); code != http.StatusOK {
+		t.Fatalf("repeat GET: %d", code)
+	}
+	if st.Stats().MemHits == 0 {
+		t.Error("repeat GET did not hit the memory tier")
+	}
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	_, c := startServer(t, nil, 1, 1)
+
+	resp, err := http.Post(c.ts.URL+"/jobs", "application/json", strings.NewReader(`{"exp":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown experiment: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(c.ts.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDaemonDrainRefusesSubmits(t *testing.T) {
+	srv, c := startServer(t, nil, 1, 1)
+	srv.Drain()
+
+	resp, err := http.Post(c.ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"exp":"table1","quick":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain: status %d, want 503", resp.StatusCode)
+	}
+
+	resp, err = http.Post(c.ts.URL+"/jobs/batch", "application/json",
+		strings.NewReader(`{"exps":["table1"],"quick":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("batch submit after drain: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -235,44 +235,93 @@ func Known(id string) bool {
 
 // Run executes the experiment with the given id on the worker pool.
 func Run(id string, o Opts) (*Table, error) {
+	plan, err := planFor(id, o)
+	if err != nil {
+		return nil, err
+	}
+	tabs, err := executePlans([]string{id}, []*Plan{plan}, o)
+	if err != nil {
+		return nil, err
+	}
+	return tabs[0], nil
+}
+
+// RunBatch executes several experiments through one combined runner plan:
+// every plan's specs flatten into a single Execute (or ExecuteSegments)
+// call, so the worker pool, progress hook, and store-counter wiring are
+// checked out once for the whole batch instead of once per experiment.
+// Each run's seed is derived from (root, experiment id, point, rep) alone
+// — never from its position in the combined spec list — so every table is
+// bit-identical to a sequential Run of the same id (pinned by
+// TestRunBatchMatchesSequential).
+func RunBatch(ids []string, o Opts) ([]*Table, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("experiments: empty batch")
+	}
+	seen := make(map[string]bool, len(ids))
+	plans := make([]*Plan, len(ids))
+	for i, id := range ids {
+		if seen[id] {
+			return nil, fmt.Errorf("experiments: duplicate experiment %q in batch", id)
+		}
+		seen[id] = true
+		plan, err := planFor(id, o)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = plan
+	}
+	return executePlans(ids, plans, o)
+}
+
+func planFor(id string, o Opts) (*Plan, error) {
 	p, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %s)",
 			id, strings.Join(IDs(), ", "))
 	}
-	plan, err := p(o)
-	if err != nil {
-		return nil, err
-	}
-	return plan.execute(id, o)
+	return p(o)
 }
 
-// execute flattens the plan into specs, fans them out on the runner, and
-// regroups the outputs per point for Assemble. Plans that declare chains
-// run on the segment scheduler with per-repetition dependencies along each
-// chain; specs are point-major, so chain dependencies always point to
-// earlier indices and the serial schedule is plain spec order.
-func (plan *Plan) execute(id string, o Opts) (*Table, error) {
+// executePlans flattens the plans into one spec list, fans it out on the
+// runner, and regroups the outputs per plan and point for Assemble. Plans
+// that declare chains run on the segment scheduler with per-repetition
+// dependencies along each chain; specs are point-major within each plan,
+// so chain dependencies always point to earlier indices and the serial
+// schedule is plain spec order. Chains never cross plan boundaries —
+// cross-experiment sharing stays content-addressed through the memo and
+// checkpoint stores, which are order-independent.
+func executePlans(ids []string, plans []*Plan, o Opts) ([]*Table, error) {
 	var specs []runner.Spec
-	first := make([]int, len(plan.Points))
-	for pi := range plan.Points {
-		pt := &plan.Points[pi]
-		if pt.Reps <= 0 {
-			pt.Reps = o.runs()
+	firsts := make([][]int, len(plans))
+	chained := false
+	for pl, plan := range plans {
+		first := make([]int, len(plan.Points))
+		for pi := range plan.Points {
+			pt := &plan.Points[pi]
+			if pt.Reps <= 0 {
+				pt.Reps = o.runs()
+			}
+			first[pi] = len(specs)
+			for r := 0; r < pt.Reps; r++ {
+				specs = append(specs, runner.Spec{
+					Experiment: ids[pl], Point: pi, Rep: r, Label: pt.Label,
+				})
+			}
 		}
-		first[pi] = len(specs)
-		for r := 0; r < pt.Reps; r++ {
-			specs = append(specs, runner.Spec{
-				Experiment: id, Point: pi, Rep: r, Label: pt.Label,
-			})
-		}
+		firsts[pl] = first
+		chained = chained || len(plan.Chains) > 0
 	}
 	var hook runner.Hook
 	if o.Progress != nil {
 		hook = runner.Progress(o.Progress)
 	}
+	byID := make(map[string]*Plan, len(plans))
+	for i, id := range ids {
+		byID[id] = plans[i]
+	}
 	run := func(s runner.Spec, seed uint64) (Out, error) {
-		return plan.Points[s.Point].Run(s.Rep, seed)
+		return byID[s.Experiment].Points[s.Point].Run(s.Rep, seed)
 	}
 	ropt := runner.Options{Root: o.Seed, Workers: o.Workers, Hook: hook}
 	if st := core.ActiveStore(); st != nil {
@@ -286,17 +335,20 @@ func (plan *Plan) execute(id string, o Opts) (*Table, error) {
 	}
 	var outs []Out
 	var err error
-	if len(plan.Chains) > 0 {
+	if chained {
 		deps := make([][]int, len(specs))
-		for _, chain := range plan.Chains {
-			for k := 1; k < len(chain); k++ {
-				prev, cur := chain[k-1], chain[k]
-				reps := plan.Points[cur].Reps
-				if p := plan.Points[prev].Reps; p < reps {
-					reps = p
-				}
-				for r := 0; r < reps; r++ {
-					deps[first[cur]+r] = append(deps[first[cur]+r], first[prev]+r)
+		for pl, plan := range plans {
+			first := firsts[pl]
+			for _, chain := range plan.Chains {
+				for k := 1; k < len(chain); k++ {
+					prev, cur := chain[k-1], chain[k]
+					reps := plan.Points[cur].Reps
+					if p := plan.Points[prev].Reps; p < reps {
+						reps = p
+					}
+					for r := 0; r < reps; r++ {
+						deps[first[cur]+r] = append(deps[first[cur]+r], first[prev]+r)
+					}
 				}
 			}
 		}
@@ -307,13 +359,21 @@ func (plan *Plan) execute(id string, o Opts) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := make([][]Out, len(plan.Points))
+	tables := make([]*Table, len(plans))
 	i := 0
-	for pi := range plan.Points {
-		res[pi] = outs[i : i+plan.Points[pi].Reps]
-		i += plan.Points[pi].Reps
+	for pl, plan := range plans {
+		res := make([][]Out, len(plan.Points))
+		for pi := range plan.Points {
+			res[pi] = outs[i : i+plan.Points[pi].Reps]
+			i += plan.Points[pi].Reps
+		}
+		tab, err := plan.Assemble(res)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ids[pl], err)
+		}
+		tables[pl] = tab
 	}
-	return plan.Assemble(res)
+	return tables, nil
 }
 
 // Metric indexes of the vector produced by channelRun.

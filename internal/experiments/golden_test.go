@@ -104,15 +104,49 @@ func TestGoldenConformance(t *testing.T) {
 			if storeWarm := goldenOutput(t, id, 8); !bytes.Equal(storeWarm, want) {
 				t.Errorf("store-on warm output differs from the golden — served results are not bit-identical\n--- got ---\n%s--- want ---\n%s", storeWarm, want)
 			}
+			// Sixth axis: the in-memory result tier. The warm pass above was
+			// served from the write-back's own residency; a disabled-tier
+			// handle over the same directory (pure disk reads) and a fresh
+			// enabled-tier handle (cold memory filling from disk, then
+			// resident serving) must all reproduce the committed bytes —
+			// memory tier on ≡ off ≡ golden.
+			stOff, err := resultstore.Open(st.Dir(), resultstore.Options{MemBytes: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			core.SetStore(stOff)
+			if memOff := goldenOutput(t, id, 8); !bytes.Equal(memOff, want) {
+				t.Errorf("memory-tier-off output differs from the golden\n--- got ---\n%s--- want ---\n%s", memOff, want)
+			}
+			stOn, err := resultstore.Open(st.Dir(), resultstore.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			core.SetStore(stOn)
+			if memCold := goldenOutput(t, id, 8); !bytes.Equal(memCold, want) {
+				t.Errorf("memory-tier disk-fill output differs from the golden\n--- got ---\n%s--- want ---\n%s", memCold, want)
+			}
+			if memWarm := goldenOutput(t, id, 8); !bytes.Equal(memWarm, want) {
+				t.Errorf("memory-tier resident output differs from the golden — the memory tier is not serving the committed bytes\n--- got ---\n%s--- want ---\n%s", memWarm, want)
+			}
 			if id == corruptAxisID {
 				// Corrupt every entry in place: each Get must quarantine and
 				// fall back to a cold recompute that still matches the
-				// golden. One representative id keeps the axis cheap.
+				// golden. One representative id keeps the axis cheap. The
+				// fresh handle models the next process to open the store —
+				// its memory tier is cold, so every Get reads the corrupted
+				// file (an existing handle's residency would, correctly,
+				// keep serving the pristine bytes it wrote).
 				corruptStoreEntries(t, st.Dir())
+				stCorrupt, err := resultstore.Open(st.Dir(), resultstore.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				core.SetStore(stCorrupt)
 				if fallback := goldenOutput(t, id, 8); !bytes.Equal(fallback, want) {
 					t.Errorf("corrupt-store output differs from the golden — quarantine fallback is changing results\n--- got ---\n%s--- want ---\n%s", fallback, want)
 				}
-				if st.Stats().Quarantined == 0 {
+				if stCorrupt.Stats().Quarantined == 0 {
 					t.Error("corrupt-store axis quarantined nothing — the corruption never reached Get")
 				}
 			}

@@ -1,0 +1,266 @@
+// Package loadgen is a deterministic load generator for the result-store
+// serving path. It drives a Target — the store in-process, or a daemon's
+// GET /results/{key} over HTTP — with a Zipf-popular key workload and
+// reports throughput, latency percentiles, and hit ratios.
+//
+// The workload is a pure function of the Config: key contents derive from
+// the seed, and the key picked for global request j derives from
+// (seed, j) alone — never from timing, worker identity, or completion
+// order — so two runs with the same Config issue the identical request
+// trace at any worker count, in either loop mode. The host clock is read
+// only to measure latency and pace open-loop arrivals, both annotated
+// display-path uses; it never influences which requests are issued.
+//
+// Closed loop (OpenQPS == 0): Workers clients issue their share of
+// Requests back to back; throughput is offered load, latency is pure
+// service time. Open loop (OpenQPS > 0): request j is scheduled at
+// j/OpenQPS from the start, workers sleep until each arrival, and latency
+// is measured from the scheduled arrival — so queueing delay counts, the
+// way a latency SLO sees it.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"streamline/internal/resultstore"
+	"streamline/internal/rng"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Keys is the working-set size: the number of distinct store keys the
+	// generator draws from. 0 selects 1024.
+	Keys int
+	// ValueBytes is the payload size Populate writes per key. 0 selects
+	// 4096.
+	ValueBytes int
+	// Requests is the total number of requests across all workers. 0
+	// selects 10000.
+	Requests int
+	// Workers is the number of concurrent clients. 0 selects 4.
+	Workers int
+	// ZipfS is the Zipf skew (popularity of rank r ∝ 1/r^s). 0 selects
+	// 1.1, a typical hot-key serving skew.
+	ZipfS float64
+	// Seed roots every derived stream: key contents, per-request key
+	// choice. 0 selects 1.
+	Seed uint64
+	// OpenQPS, when positive, switches to open-loop mode with this target
+	// arrival rate in requests per second.
+	OpenQPS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys <= 0 {
+		c.Keys = 1024
+	}
+	if c.ValueBytes <= 0 {
+		c.ValueBytes = 4096
+	}
+	if c.Requests <= 0 {
+		c.Requests = 10000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Requests int           `json:"requests"`
+	Hits     int           `json:"hits"`
+	Misses   int           `json:"misses"`
+	Errors   int           `json:"errors"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	QPS      float64       `json:"qps"`
+	P50      time.Duration `json:"p50_ns"`
+	P90      time.Duration `json:"p90_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	Max      time.Duration `json:"max_ns"`
+	HitRatio float64       `json:"hit_ratio"`
+}
+
+// Target is one request sink: report whether the key was found.
+type Target interface {
+	Get(key resultstore.Key) (bool, error)
+}
+
+// StoreTarget serves requests from a store handle in-process — the tier
+// the daemon itself reads from.
+type StoreTarget struct{ Store *resultstore.Store }
+
+func (t StoreTarget) Get(key resultstore.Key) (bool, error) {
+	_, ok := t.Store.Get(key)
+	return ok, nil
+}
+
+// HTTPTarget issues GET {Base}/results/{key} against a daemon.
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+func (t HTTPTarget) Get(key resultstore.Key) (bool, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(t.Base + "/results/" + key.String())
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("GET /results/%s: status %d", key, resp.StatusCode)
+	}
+}
+
+// keyPayload returns the deterministic payload of working-set key i.
+func keyPayload(cfg Config, i int) []byte {
+	x := rng.New(rng.Derive(cfg.Seed, rng.HashString("loadgen-key"), uint64(i)))
+	b := make([]byte, cfg.ValueBytes)
+	for j := range b {
+		b[j] = byte(x.Uint64())
+	}
+	return b
+}
+
+// WorkingSet returns the run's key set, derived from the config alone.
+func WorkingSet(cfg Config) []resultstore.Key {
+	cfg = cfg.withDefaults()
+	keys := make([]resultstore.Key, cfg.Keys)
+	for i := range keys {
+		keys[i] = resultstore.KeyOf(keyPayload(cfg, i))
+	}
+	return keys
+}
+
+// Populate writes the whole working set into the store, so a following
+// Run measures the warm serving path.
+func Populate(st *resultstore.Store, cfg Config) error {
+	cfg = cfg.withDefaults()
+	for i := 0; i < cfg.Keys; i++ {
+		p := keyPayload(cfg, i)
+		if err := st.Put(resultstore.KeyOf(p), p); err != nil {
+			return fmt.Errorf("populate key %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// zipfCDF precomputes the cumulative popularity of ranks 0..n-1 with
+// P(rank r) ∝ 1/(r+1)^s, normalized to end at 1.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return cdf
+}
+
+// keyIndexFor picks the working-set index of global request j — a pure
+// function of (cfg.Seed, j), so the request trace is identical at any
+// worker count and in either loop mode.
+func keyIndexFor(cfg Config, cdf []float64, j int) int {
+	x := rng.New(rng.Derive(cfg.Seed, rng.HashString("loadgen-req"), uint64(j)))
+	u := x.Float64()
+	return sort.SearchFloat64s(cdf, u)
+}
+
+// Run drives the target with cfg's workload and returns the measurements.
+func Run(target Target, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	keys := WorkingSet(cfg)
+	cdf := zipfCDF(cfg.Keys, cfg.ZipfS)
+
+	latencies := make([]int64, cfg.Requests) // indexed by global request id
+	hits := make([]bool, cfg.Requests)
+	var firstErr error
+	var errCount int
+	var errMu sync.Mutex
+
+	start := time.Now() //detlint:allow wallclock -- latency/throughput measurement on the reporting path; the workload trace is clock-free
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Round-robin partition: worker w owns requests w, w+W, ...
+			// In both modes the key for request j comes from keyIndexFor,
+			// so the partition shapes concurrency, never the trace.
+			for j := w; j < cfg.Requests; j += cfg.Workers {
+				ref := start
+				if cfg.OpenQPS > 0 {
+					ref = start.Add(time.Duration(float64(j) / cfg.OpenQPS * float64(time.Second)))
+					time.Sleep(time.Until(ref)) //detlint:allow wallclock -- open-loop arrival pacing on the measurement path; arrival times derive from the request index, not the clock
+				} else {
+					ref = time.Now() //detlint:allow wallclock -- latency measurement on the reporting path
+				}
+				ok, err := target.Get(keys[keyIndexFor(cfg, cdf, j)])
+				latencies[j] = int64(time.Since(ref)) //detlint:allow wallclock -- latency measurement on the reporting path
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errCount++
+					errMu.Unlock()
+					continue
+				}
+				hits[j] = ok
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start) //detlint:allow wallclock -- throughput measurement on the reporting path
+
+	res := Result{Requests: cfg.Requests, Elapsed: elapsed, Errors: errCount}
+	if firstErr != nil && errCount == cfg.Requests {
+		return res, fmt.Errorf("loadgen: every request failed: %w", firstErr)
+	}
+	for _, h := range hits {
+		if h {
+			res.Hits++
+		}
+	}
+	res.Misses = cfg.Requests - res.Hits - errCount
+	if cfg.Requests > 0 {
+		res.HitRatio = float64(res.Hits) / float64(cfg.Requests)
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.QPS = float64(cfg.Requests) / s
+	}
+	sorted := append([]int64(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(q float64) time.Duration {
+		return time.Duration(sorted[int(q*float64(len(sorted)-1))])
+	}
+	res.P50, res.P90, res.P99 = pct(0.50), pct(0.90), pct(0.99)
+	res.Max = time.Duration(sorted[len(sorted)-1])
+	return res, firstErr
+}

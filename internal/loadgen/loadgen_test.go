@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"streamline/internal/resultstore"
+)
+
+// serveResults mimics the daemon's GET /results/{key} endpoint, keeping
+// the HTTP test independent of the daemon package.
+func serveResults(st *resultstore.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, err := resultstore.ParseKey(r.PathValue("key"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, ok := st.Get(key)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(p)
+	})
+	return mux
+}
+
+func openStore(t *testing.T) *resultstore.Store {
+	t.Helper()
+	st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestTraceIsWorkerCountInvariant pins the determinism contract: the key
+// picked for request j is a function of (seed, j) alone, so the multiset
+// of requested keys — and therefore hits/misses against a fixed store —
+// is identical at any worker count and in either loop mode.
+func TestTraceIsWorkerCountInvariant(t *testing.T) {
+	cfg := Config{Keys: 64, Requests: 512, Seed: 7}.withDefaults()
+	cdf := zipfCDF(cfg.Keys, cfg.ZipfS)
+	var ref []int
+	for j := 0; j < cfg.Requests; j++ {
+		ref = append(ref, keyIndexFor(cfg, cdf, j))
+	}
+	again := make([]int, cfg.Requests)
+	for j := range again {
+		again[j] = keyIndexFor(cfg, cdf, j)
+	}
+	for j := range ref {
+		if ref[j] != again[j] {
+			t.Fatalf("request %d resampled to a different key: %d vs %d", j, again[j], ref[j])
+		}
+	}
+	// Skew sanity: rank 0 must be requested more than a uniform share.
+	count0 := 0
+	for _, i := range ref {
+		if i == 0 {
+			count0++
+		}
+	}
+	if uniform := cfg.Requests / cfg.Keys; count0 <= uniform {
+		t.Errorf("rank-0 key requested %d times, uniform share is %d — Zipf skew missing", count0, uniform)
+	}
+}
+
+func TestClosedLoopAgainstStore(t *testing.T) {
+	st := openStore(t)
+	cfg := Config{Keys: 32, ValueBytes: 256, Requests: 2000, Workers: 4, Seed: 3}
+	if err := Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(StoreTarget{st}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != res.Requests || res.HitRatio != 1 {
+		t.Errorf("populated store: %d/%d hits (ratio %.3f), want all hits",
+			res.Hits, res.Requests, res.HitRatio)
+	}
+	if res.QPS <= 0 || res.P50 <= 0 || res.P99 < res.P50 || res.Max < res.P99 {
+		t.Errorf("implausible measurements: %+v", res)
+	}
+	if st.Stats().MemHits == 0 {
+		t.Error("warm closed loop never touched the memory tier")
+	}
+}
+
+func TestUnpopulatedStoreMisses(t *testing.T) {
+	st := openStore(t)
+	res, err := Run(StoreTarget{st}, Config{Keys: 8, Requests: 100, Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != res.Requests || res.Hits != 0 {
+		t.Errorf("cold store: %d hits %d misses, want all misses", res.Hits, res.Misses)
+	}
+}
+
+func TestOpenLoopAgainstHTTP(t *testing.T) {
+	st := openStore(t)
+	cfg := Config{Keys: 16, ValueBytes: 128, Requests: 200, Workers: 4, Seed: 9, OpenQPS: 5000}
+	if err := Populate(st, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// A bare handler mimicking the daemon's results endpoint keeps this
+	// test independent of the daemon package (no import cycle risk).
+	ts := httptest.NewServer(serveResults(st))
+	defer ts.Close()
+
+	res, err := Run(HTTPTarget{Base: ts.URL}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != res.Requests {
+		t.Errorf("populated HTTP target: %d/%d hits", res.Hits, res.Requests)
+	}
+	// 200 requests at 5k/s schedule the last arrival ~40ms in; open loop
+	// cannot finish faster than its own schedule.
+	if res.Elapsed.Milliseconds() < 35 {
+		t.Errorf("open loop finished in %v, faster than the arrival schedule allows", res.Elapsed)
+	}
+}

@@ -1,0 +1,210 @@
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMemTierServes pins the tier ordering: the first Get after a cold
+// reopen is a disk read that makes the entry resident; subsequent Gets are
+// memory hits returning the identical backing slice (zero-copy).
+func TestMemTierServes(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf([]byte("tiered"))
+	payload := bytes.Repeat([]byte("p"), 512)
+	if err := openT(t, dir, Options{}).Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openT(t, dir, Options{})
+	first, ok := s.Get(key)
+	if !ok || !bytes.Equal(first, payload) {
+		t.Fatalf("cold Get = %d bytes, %v", len(first), ok)
+	}
+	st := s.Stats()
+	if st.MemHits != 0 || st.MemMisses != 1 || st.MemEntries != 1 {
+		t.Fatalf("after cold Get: %+v, want 0 mem hits, 1 mem miss, 1 resident", st)
+	}
+	second, ok := s.Get(key)
+	if !ok {
+		t.Fatal("warm Get missed")
+	}
+	if &second[0] != &first[0] {
+		t.Error("warm Get copied the payload; the memory tier must serve zero-copy")
+	}
+	st = s.Stats()
+	if st.MemHits != 1 || st.MemBytes != int64(len(payload)) {
+		t.Fatalf("after warm Get: %+v, want 1 mem hit, %d resident bytes", st, len(payload))
+	}
+}
+
+// TestMemTierOffMatchesOn is the unit-level memory-tier axis (the golden
+// suite pins the experiment-level one): every payload served with the tier
+// on is byte-identical to the tier-off disk read.
+func TestMemTierOffMatchesOn(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, dir, Options{})
+	keys := make([]Key, 16)
+	for i := range keys {
+		p := bytes.Repeat([]byte{byte(i + 1)}, 64+i*17)
+		keys[i] = KeyOf(p)
+		if err := w.Put(keys[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	on := openT(t, dir, Options{})
+	off := openT(t, dir, Options{MemBytes: -1})
+	for pass := 0; pass < 2; pass++ { // second pass serves `on` from memory
+		for i, k := range keys {
+			a, okA := on.Get(k)
+			b, okB := off.Get(k)
+			if !okA || !okB || !bytes.Equal(a, b) {
+				t.Fatalf("pass %d entry %d: tier-on (%d bytes, %v) != tier-off (%d bytes, %v)",
+					pass, i, len(a), okA, len(b), okB)
+			}
+		}
+	}
+	if st := off.Stats(); st.MemHits != 0 || st.MemMisses != 0 || st.MemEntries != 0 {
+		t.Fatalf("disabled tier recorded activity: %+v", st)
+	}
+	if st := on.Stats(); st.MemHits == 0 {
+		t.Fatalf("enabled tier never hit: %+v", st)
+	}
+}
+
+// TestMemTierBudgetEvicts fills one shard past its budget and checks LRU
+// order: the least-recently-touched resident entry is dropped first, and
+// the byte accounting tracks exactly.
+func TestMemTierBudgetEvicts(t *testing.T) {
+	payload := func(i int) []byte { return bytes.Repeat([]byte{byte(i + 1)}, 1024) }
+	// Budget for ~3 resident 1KB entries per shard. Keys hash across
+	// shards, so find 4 keys landing in one shard to make eviction
+	// deterministic.
+	s := openT(t, t.TempDir(), Options{MemBytes: 3*1024*numShards + numShards})
+	var keys []Key
+	var shardID byte
+	for i := 0; len(keys) < 4; i++ {
+		k := KeyOf([]byte(fmt.Sprintf("bucket-%d", i)))
+		if len(keys) == 0 {
+			shardID = k[0]
+		}
+		if k[0] == shardID {
+			keys = append(keys, k)
+			if err := s.Put(k, payload(i)); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := s.Put(k, payload(i)); err != nil { // other shards stay under budget
+			t.Fatal(err)
+		}
+	}
+	// Put order made keys[0] the shard's LRU resident; the fourth Put
+	// must have evicted it from memory (the disk entry survives).
+	st := s.Stats()
+	if st.MemEvictions == 0 {
+		t.Fatalf("no memory evictions at %+v", st)
+	}
+	if _, ok := s.getMem(keys[0]); ok {
+		t.Error("shard LRU entry still resident past the budget")
+	}
+	if p, ok := s.Get(keys[0]); !ok || !bytes.Equal(p, payload(0)) {
+		t.Error("memory-evicted entry lost from the disk tier")
+	}
+	var wantResident int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		var shardSum int64
+		for _, e := range sh.mem {
+			shardSum += int64(len(e.payload))
+		}
+		if shardSum != sh.memBytes {
+			t.Errorf("shard %d accounting %d != resident %d", i, sh.memBytes, shardSum)
+		}
+		wantResident += shardSum
+		sh.mu.Unlock()
+	}
+	if got := s.Stats().MemBytes; got != wantResident {
+		t.Errorf("MemBytes %d != summed resident %d", got, wantResident)
+	}
+}
+
+// TestMemGetZeroAllocs is the dynamic twin of the //detlint:hotpath
+// annotation on getMem: a warm-tier hit allocates nothing.
+func TestMemGetZeroAllocs(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{})
+	key := KeyOf([]byte("hot"))
+	if err := s.Put(key, bytes.Repeat([]byte("h"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.getMem(key); !ok {
+		t.Fatal("entry not resident after Put")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.getMem(key); !ok {
+			t.Fatal("resident entry missed")
+		}
+	}); allocs != 0 {
+		t.Errorf("memory-tier Get allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestConcurrentTiers hammers Get/Put/evict on both tiers at once with
+// budgets tight enough to force continuous eviction — the race-detector
+// workload for the sharded store (CI runs this package under -race).
+func TestConcurrentTiers(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{
+		MaxBytes: 64 << 10, // force disk eviction
+		MemBytes: numShards * 2048,
+	})
+	const (
+		workers = 8
+		keysN   = 64
+		rounds  = 200
+	)
+	payload := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 128+i*13) }
+	keys := make([]Key, keysN)
+	for i := range keys {
+		keys[i] = KeyOf(payload(i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w*31 + r*7) % keysN
+				if (w+r)%3 == 0 {
+					if err := s.Put(keys[i], payload(i)); err != nil {
+						errs <- err
+						return
+					}
+				} else if p, ok := s.Get(keys[i]); ok && !bytes.Equal(p, payload(i)) {
+					errs <- fmt.Errorf("key %d served wrong bytes", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Counters must reconcile exactly (the satellite's "Stats stays exact
+	// under concurrency"): every Get is a hit or a miss, and every hit is
+	// a memory hit or a disk read that followed a memory miss.
+	st := s.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no Get activity recorded")
+	}
+	if st.MemHits+st.MemMisses != st.Hits+st.Misses {
+		t.Errorf("tier counters diverge: %d mem outcomes vs %d Get outcomes", st.MemHits+st.MemMisses, st.Hits+st.Misses)
+	}
+	if st.MemHits > st.Hits {
+		t.Errorf("MemHits %d exceeds Hits %d", st.MemHits, st.Hits)
+	}
+}

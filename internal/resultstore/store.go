@@ -1,26 +1,44 @@
 // Package resultstore is a persistent content-addressed store for completed
-// simulation results (see DESIGN.md §9 "Result store"). It turns repeated
-// runs — CI re-runs, warm `-exp all` passes, identical daemon jobs — into a
-// serving problem: a result computed once under a content key (machine
-// fingerprint × canonical run-options hash × seed × payload hash, derived by
-// the caller) is thereafter a disk read, not a simulation.
+// simulation results (see DESIGN.md §9 "Result store" and §10 "Serving
+// architecture"). It turns repeated runs — CI re-runs, warm `-exp all`
+// passes, identical daemon jobs — into a serving problem: a result computed
+// once under a content key (machine fingerprint × canonical run-options
+// hash × seed × payload hash, derived by the caller) is thereafter a memory
+// or disk read, not a simulation.
+//
+// The store is two tiers under 256 sharded locks (the key's first byte
+// picks the shard, mirroring the on-disk `<dir>/ab/` fan-out):
+//
+//   - a byte-budgeted in-memory tier holding unwrapped payloads on an
+//     intrusive per-shard LRU list, served zero-copy as immutable byte
+//     slices (callers must never modify a Get result — every decoder in
+//     this repository copies before returning caller-owned data);
+//   - the on-disk tier of versioned envelopes, indexed entirely in memory
+//     at Open, so a miss is a map probe under one shard lock — never a
+//     stat or a failed read.
 //
 // Layout and format follow the content-addressed-repository idiom: entries
-// live under a two-level sharded tree (`<dir>/ab/abcdef...`, the first key
-// byte as shard), each wrapped in a versioned binary envelope that echoes
-// the key and carries an FNV-1a checksum of the payload. Writes go through
-// a temp file and an atomic rename, so a crashed or concurrent writer can
-// never leave a half-written entry under a valid name. Reads verify the
-// whole envelope; anything that fails verification — truncation, a flipped
-// bit, a schema bump — is quarantined in place (renamed to `.corrupt`),
-// logged once, and reported as a miss, so corruption costs one re-simulation
-// and never an incorrect result.
+// live under a two-level sharded tree (`<dir>/ab/abcdef...`), each wrapped
+// in a versioned binary envelope that echoes the key and carries an FNV-1a
+// checksum of the payload. Writes go through a temp file and an atomic
+// rename, so a crashed writer can never leave a half-written entry under a
+// valid name. Reads verify the whole envelope; anything that fails
+// verification — truncation, a flipped bit, a schema bump — is quarantined
+// in place (renamed to `.corrupt`), logged once, and reported as a miss, so
+// corruption costs one re-simulation and never an incorrect result.
 //
-// The store is size-bounded: Put evicts the least-recently-used entries
-// (file mtime; Get touches entries it serves) once the configured budget is
-// exceeded. All maintenance is observational — the store only ever returns
-// byte-exact payloads a caller previously stored, so results served from it
-// are bit-identical to re-simulating by construction of the key.
+// Both tiers are size-bounded and evict least-recently-used entries, where
+// recency is a process-local logical clock (an atomic counter bumped per
+// access), not wall time: eviction order is deterministic for a
+// deterministic access sequence, and the serving path never reads the host
+// clock. The index-at-Open design trades cross-process read sharing for
+// lock-free miss detection: entries another process writes after Open are
+// invisible to this handle, and the re-simulation they cost is always
+// correct — the store is strictly a cache, never a source of truth.
+//
+// All maintenance is observational — the store only ever returns byte-exact
+// payloads a caller previously stored, so results served from it are
+// bit-identical to re-simulating by construction of the key.
 package resultstore
 
 import (
@@ -34,7 +52,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // Key addresses one stored entry: 128 bits of a SHA-256 over the caller's
@@ -57,6 +74,22 @@ func KeyOf(data []byte) Key {
 // String returns the key's 32-char hex form, which is also its filename.
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey reverses String: a 32-char hex key name. The daemon's
+// GET /results/{key} endpoint uses it to address entries over HTTP, and
+// Open uses it to rebuild the index from entry filenames.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != 32 {
+		return k, fmt.Errorf("resultstore: key %q is %d chars, want 32", s, len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("resultstore: key %q: %w", s, err)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
 // Envelope format: a fixed header followed by the payload. Version covers
 // the envelope layout only; payload schema versioning is the caller's
 // (internal/core prefixes its Result codec version).
@@ -66,51 +99,134 @@ const (
 	envHdrLen  = 4 + 4 + 16 + 8 + 8 // magic, version, key echo, payload len, checksum
 )
 
+// numShards is the lock fan-out: the key's first byte picks the shard, so
+// shard population is uniform by construction (keys are truncated SHA-256)
+// and matches the on-disk directory fan-out one to one.
+const numShards = 256
+
 // Options configures Open.
 type Options struct {
-	// MaxBytes bounds the total payload bytes retained; Put evicts
-	// least-recently-used entries beyond it. 0 selects 2 GiB; negative
-	// disables eviction.
+	// MaxBytes bounds the total on-disk envelope bytes retained; Put
+	// evicts least-recently-used entries beyond it. 0 selects 2 GiB;
+	// negative disables disk eviction (unbounded).
 	MaxBytes int64
+	// MemBytes bounds the in-memory tier's resident payload bytes. 0
+	// selects 256 MiB; negative disables the memory tier entirely (every
+	// hit reads and verifies the on-disk envelope — the pre-tier
+	// behaviour the golden suite's memory axis pins as bit-identical).
+	MemBytes int64
 	// Log receives one line per quarantined entry (at most one line per
 	// Store lifetime unless every read corrupts); nil discards.
 	Log func(format string, args ...any)
 }
 
-// Stats is a monotonic snapshot of store activity plus the current on-disk
-// footprint.
+// Stats is a monotonic snapshot of store activity plus the current
+// footprint of both tiers. Every field is maintained atomically: reading
+// Stats takes no lock and never contends with the serving path.
 type Stats struct {
-	// Hits and Misses count Get outcomes; a quarantined read counts as a
-	// miss. Writes counts completed Puts, Evictions entries removed by the
-	// size bound, Quarantined entries renamed aside after failing
-	// verification.
+	// Hits and Misses count Get outcomes across both tiers; a quarantined
+	// read counts as a miss. Writes counts completed Puts, Evictions disk
+	// entries removed by the size bound, Quarantined entries renamed
+	// aside after failing verification.
 	Hits, Misses, Writes, Evictions, Quarantined uint64
-	// Entries and Bytes describe the live store (envelope bytes on disk).
-	Entries int
-	Bytes   int64
+	// MemHits counts Gets served from the in-memory tier (a subset of
+	// Hits); MemMisses Gets that fell through to the disk tier (whether
+	// or not the disk tier then hit); MemEvictions entries dropped by the
+	// memory budget.
+	MemHits, MemMisses, MemEvictions uint64
+	// Entries and Bytes describe the live disk tier (envelope bytes);
+	// MemEntries and MemBytes the resident memory tier (payload bytes).
+	Entries    int
+	Bytes      int64
+	MemEntries int
+	MemBytes   int64
 }
 
-// Store is a concurrency-safe handle on one store directory. Multiple
-// processes may share a directory: writes are atomic renames, and a read
-// racing an eviction degrades to a miss.
+// diskEntry is one indexed on-disk envelope. lastUse is the logical clock
+// reading at the entry's last Get or Put; eviction removes the smallest.
+type diskEntry struct {
+	size    int64
+	lastUse uint64
+}
+
+// memEntry is one resident payload on a shard's intrusive LRU list
+// (touching an entry is pointer surgery, never an allocation).
+type memEntry struct {
+	key        Key
+	payload    []byte // immutable; served zero-copy
+	prev, next *memEntry
+}
+
+// shard is 1/256th of both tiers: the disk index and the memory tier's
+// map + LRU list for keys whose first byte matches. The LRU list is
+// circular through the sentinel head: head.next is most-recently-used,
+// head.prev least.
+type shard struct {
+	mu   sync.Mutex
+	disk map[Key]diskEntry
+	mem  map[Key]*memEntry
+	head memEntry // sentinel
+
+	// memBytes is this shard's resident payload bytes, guarded by mu. The
+	// global memory budget is split evenly across shards (uniform keys
+	// make the split fair), so eviction never crosses shard locks.
+	memBytes int64
+}
+
+// lruInit links the sentinel to itself (empty list).
+func (sh *shard) lruInit() {
+	sh.head.prev = &sh.head
+	sh.head.next = &sh.head
+}
+
+// lruUnlink removes e from the list.
+//
+//detlint:hotpath
+func (sh *shard) lruUnlink(e *memEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+// lruPushFront inserts e as most-recently-used.
+//
+//detlint:hotpath
+func (sh *shard) lruPushFront(e *memEntry) {
+	e.next = sh.head.next
+	e.prev = &sh.head
+	sh.head.next.prev = e
+	sh.head.next = e
+}
+
+// Store is a concurrency-safe handle on one store directory.
 type Store struct {
-	dir      string
-	maxBytes int64
-	log      func(format string, args ...any)
+	dir         string
+	maxBytes    int64
+	memShardMax int64 // per-shard memory budget; meaningful only when the tier is on
+	memDisabled bool
+	log         func(format string, args ...any)
 
 	hits, misses, writes, evictions, quarantined atomic.Uint64
+	memHits, memMisses, memEvictions             atomic.Uint64
 	loggedCorrupt                                atomic.Bool
 
-	// mu serializes Put bookkeeping and eviction; bytes/entries track the
-	// live footprint (scanned at Open, maintained incrementally after).
-	mu      sync.Mutex
-	bytes   int64
-	entries int
+	// Footprints are atomics so Stats never locks; the shard locks keep
+	// each update paired with its map change, so the totals stay exact.
+	bytes         atomic.Int64
+	entries       atomic.Int64
+	memBytesTotal atomic.Int64
+	memEntriesTot atomic.Int64
+
+	clock   atomic.Uint64 // logical recency clock for disk-tier LRU
+	evictMu sync.Mutex    // serializes disk evictions
+
+	shards [numShards]shard
 }
 
-// Open opens (creating if needed) the store rooted at dir and scans the
-// existing entries to establish the size accounting. Stale temp files from
-// crashed writers are removed.
+// Open opens (creating if needed) the store rooted at dir and loads the
+// on-disk index once: after Open, a Get for an absent key is answered from
+// the index without touching the filesystem. Stale temp files from crashed
+// writers are removed. Pre-existing entries start at zero recency (ties
+// broken by key bytes, deterministically); any access outranks them.
 func Open(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultstore: %w", err)
@@ -118,6 +234,20 @@ func Open(dir string, opt Options) (*Store, error) {
 	s := &Store{dir: dir, maxBytes: opt.MaxBytes, log: opt.Log}
 	if s.maxBytes == 0 {
 		s.maxBytes = 2 << 30
+	}
+	memBudget := opt.MemBytes
+	if memBudget == 0 {
+		memBudget = 256 << 20
+	}
+	if memBudget < 0 {
+		s.memDisabled = true
+	} else {
+		s.memShardMax = memBudget / numShards
+	}
+	for i := range s.shards {
+		s.shards[i].disk = make(map[Key]diskEntry)
+		s.shards[i].mem = make(map[Key]*memEntry)
+		s.shards[i].lruInit()
 	}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
@@ -127,15 +257,23 @@ func Open(dir string, opt Options) (*Store, error) {
 		case ".tmp":
 			os.Remove(path) // a writer died mid-Put; the rename never happened
 		case ".corrupt":
-			// Quarantined entries stay for post-mortems but are outside the
-			// live accounting and can never be served.
+			// Quarantined entries stay for post-mortems but are outside
+			// the live accounting and can never be served.
 		default:
-			info, err := d.Info()
-			if err != nil {
-				return nil // raced a concurrent eviction; not our entry anymore
+			key, kerr := ParseKey(filepath.Base(path))
+			if kerr != nil {
+				return nil // not an entry name; leave it alone, never serve it
 			}
-			s.bytes += info.Size()
-			s.entries++
+			info, ierr := d.Info()
+			if ierr != nil {
+				return nil
+			}
+			sh := &s.shards[key[0]]
+			if _, dup := sh.disk[key]; !dup {
+				sh.disk[key] = diskEntry{size: info.Size()}
+				s.bytes.Add(info.Size())
+				s.entries.Add(1)
+			}
 		}
 		return nil
 	})
@@ -154,31 +292,151 @@ func (s *Store) path(key Key) string {
 	return filepath.Join(s.dir, name[:2], name)
 }
 
-// Get returns the payload stored under key. Any verification failure —
-// short read, bad magic or version, key mismatch, checksum mismatch —
-// quarantines the entry and reports a miss; the caller re-simulates and the
-// next Put replaces it.
+// getMem is the serving fast path: one shard lock, one map probe, an
+// intrusive LRU touch, and the resident payload returned zero-copy. It is
+// annotated allocation-free — warm-tier latency is lock + map work only,
+// enforced statically by the hotpathalloc analyzer and dynamically by the
+// AllocsPerRun probe in memtier_test.go.
+//
+//detlint:hotpath
+func (s *Store) getMem(key Key) ([]byte, bool) {
+	sh := &s.shards[key[0]]
+	sh.mu.Lock() //detlint:allow hotpathalloc -- sync.Mutex lock does not allocate
+	e := sh.mem[key]
+	if e == nil {
+		sh.mu.Unlock() //detlint:allow hotpathalloc -- sync.Mutex unlock does not allocate
+		return nil, false
+	}
+	if sh.head.next != e { // already MRU: skip the pointer surgery
+		sh.lruUnlink(e)
+		sh.lruPushFront(e)
+	}
+	// Propagate recency to the disk index so disk eviction never removes
+	// an entry the memory tier is actively serving.
+	if de, present := sh.disk[key]; present {
+		sh.disk[key] = diskEntry{size: de.size, lastUse: s.clock.Add(1)} //detlint:allow hotpathalloc -- atomic add and map overwrite of an existing comparable key do not allocate
+	}
+	p := e.payload
+	sh.mu.Unlock() //detlint:allow hotpathalloc -- sync.Mutex unlock does not allocate
+	return p, true
+}
+
+// Get returns the payload stored under key, consulting the memory tier,
+// then the in-memory disk index, then the envelope on disk. The returned
+// slice is shared and immutable: callers must not modify it. Any
+// verification failure — short read, bad magic or version, key mismatch,
+// checksum mismatch — quarantines the entry and reports a miss; the caller
+// re-simulates and the next Put replaces it.
 func (s *Store) Get(key Key) ([]byte, bool) {
+	if !s.memDisabled {
+		if p, ok := s.getMem(key); ok {
+			s.memHits.Add(1)
+			s.hits.Add(1)
+			return p, true
+		}
+		s.memMisses.Add(1)
+	}
+
+	sh := &s.shards[key[0]]
+	sh.mu.Lock()
+	de, present := sh.disk[key]
+	if !present {
+		sh.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
 	path := s.path(key)
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		// Indexed but unreadable: the file vanished out from under us (an
+		// external delete). Drop the index entry and miss.
+		s.dropDiskLocked(sh, key)
+		sh.mu.Unlock()
 		s.misses.Add(1)
 		return nil, false
 	}
-	payload, err := unwrap(key, raw)
-	if err != nil {
-		s.quarantine(path, int64(len(raw)), err)
+	payload, uerr := unwrap(key, raw)
+	if uerr != nil {
+		if os.Rename(path, path+".corrupt") == nil {
+			s.dropDiskLocked(sh, key)
+		}
+		sh.mu.Unlock()
+		s.quarantined.Add(1)
 		s.misses.Add(1)
+		if s.log != nil && s.loggedCorrupt.CompareAndSwap(false, true) {
+			s.log("resultstore: quarantined corrupt entry %s (%v); falling back to simulation", path, uerr)
+		}
 		return nil, false
 	}
+	sh.disk[key] = diskEntry{size: de.size, lastUse: s.clock.Add(1)}
+	if !s.memDisabled {
+		s.insertMemLocked(sh, key, payload)
+	}
+	sh.mu.Unlock()
 	s.hits.Add(1)
-	s.touch(path)
 	return payload, true
 }
 
-// Put stores payload under key, atomically replacing any existing entry,
-// then enforces the size bound. Storing is an optimization for later
-// readers, so callers may ignore the error.
+// dropDiskLocked removes key from the disk index and accounting, plus any
+// resident memory entry (the mem ⊆ disk-index invariant). Caller holds the
+// shard lock.
+func (s *Store) dropDiskLocked(sh *shard, key Key) {
+	de, ok := sh.disk[key]
+	if !ok {
+		return
+	}
+	delete(sh.disk, key)
+	s.bytes.Add(-de.size)
+	s.entries.Add(-1)
+	if e := sh.mem[key]; e != nil {
+		sh.lruUnlink(e)
+		delete(sh.mem, key)
+		sh.memBytes -= int64(len(e.payload))
+		s.memBytesTotal.Add(-int64(len(e.payload)))
+		s.memEntriesTot.Add(-1)
+	}
+}
+
+// insertMemLocked makes payload resident under key, evicting this shard's
+// LRU tail past the per-shard budget. Caller holds the shard lock; payload
+// must be store-private (nothing else may ever write through it). A
+// payload larger than the whole shard budget is not admitted — it would
+// evict the entire shard for a single entry.
+func (s *Store) insertMemLocked(sh *shard, key Key, payload []byte) {
+	size := int64(len(payload))
+	if size > s.memShardMax {
+		return
+	}
+	if old := sh.mem[key]; old != nil {
+		sh.lruUnlink(old)
+		delete(sh.mem, key)
+		sh.memBytes -= int64(len(old.payload))
+		s.memBytesTotal.Add(-int64(len(old.payload)))
+		s.memEntriesTot.Add(-1)
+	}
+	for sh.memBytes+size > s.memShardMax && sh.head.prev != &sh.head {
+		tail := sh.head.prev
+		sh.lruUnlink(tail)
+		delete(sh.mem, tail.key)
+		sh.memBytes -= int64(len(tail.payload))
+		s.memBytesTotal.Add(-int64(len(tail.payload)))
+		s.memEntriesTot.Add(-1)
+		s.memEvictions.Add(1)
+	}
+	e := &memEntry{key: key, payload: payload}
+	sh.mem[key] = e
+	sh.lruPushFront(e)
+	sh.memBytes += size
+	s.memBytesTotal.Add(size)
+	s.memEntriesTot.Add(1)
+}
+
+// Put stores payload under key, atomically replacing any existing entry
+// and making it resident in the memory tier, then enforces the disk size
+// bound. The payload becomes store-owned: callers must not modify it after
+// Put (every call site in this repository passes a freshly encoded buffer).
+// Storing is an optimization for later readers, so callers may ignore the
+// error.
 func (s *Store) Put(key Key, payload []byte) error {
 	env := wrap(key, payload)
 	path := s.path(key)
@@ -199,40 +457,106 @@ func (s *Store) Put(key Key, payload []byte) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var replaced int64
-	if info, err := os.Stat(path); err == nil {
-		replaced = info.Size()
-	}
+	sh := &s.shards[key[0]]
+	sh.mu.Lock()
+	old, replaced := sh.disk[key]
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		sh.mu.Unlock()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	if replaced > 0 {
-		s.bytes -= replaced
+	if replaced {
+		s.bytes.Add(-old.size)
 	} else {
-		s.entries++
+		s.entries.Add(1)
 	}
-	s.bytes += int64(len(env))
+	sh.disk[key] = diskEntry{size: int64(len(env)), lastUse: s.clock.Add(1)}
+	s.bytes.Add(int64(len(env)))
+	if !s.memDisabled {
+		// env[envHdrLen:] is the same bytes as payload but owned by the
+		// envelope buffer this function built, so residency never aliases
+		// a caller slice.
+		s.insertMemLocked(sh, key, env[envHdrLen:])
+	}
+	sh.mu.Unlock()
 	s.writes.Add(1)
-	s.evictLocked(path)
+	if s.maxBytes >= 0 && s.bytes.Load() > s.maxBytes {
+		s.evictDisk(key)
+	}
 	return nil
 }
 
-// Stats returns the current counters and footprint.
+// Stats returns the current counters and footprints. Lock-free.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	entries, bytes := s.entries, s.bytes
-	s.mu.Unlock()
 	return Stats{
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Writes:      s.writes.Load(),
-		Evictions:   s.evictions.Load(),
-		Quarantined: s.quarantined.Load(),
-		Entries:     entries,
-		Bytes:       bytes,
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Writes:       s.writes.Load(),
+		Evictions:    s.evictions.Load(),
+		Quarantined:  s.quarantined.Load(),
+		MemHits:      s.memHits.Load(),
+		MemMisses:    s.memMisses.Load(),
+		MemEvictions: s.memEvictions.Load(),
+		Entries:      int(s.entries.Load()),
+		Bytes:        s.bytes.Load(),
+		MemEntries:   int(s.memEntriesTot.Load()),
+		MemBytes:     s.memBytesTotal.Load(),
+	}
+}
+
+// evictDisk removes least-recently-used disk entries until the footprint
+// fits the budget. keep is the entry just written, exempt so a single
+// oversized Put does not evict itself. Eviction is serialized (evictMu) and
+// snapshots the index shard by shard — it never holds more than one shard
+// lock at a time, so the serving path stays responsive while it runs.
+func (s *Store) evictDisk(keep Key) {
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	if s.bytes.Load() <= s.maxBytes {
+		return // a concurrent eviction already got us under budget
+	}
+	type victim struct {
+		key     Key
+		size    int64
+		lastUse uint64
+	}
+	var victims []victim
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, de := range sh.disk {
+			if k == keep {
+				continue
+			}
+			victims = append(victims, victim{k, de.size, de.lastUse}) //detlint:allow mapiter -- sort.Slice below orders victims; the sort sits outside the shard loop's block
+
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].lastUse != victims[j].lastUse {
+			return victims[i].lastUse < victims[j].lastUse
+		}
+		// Deterministic order for equal recency (e.g. the zero stamps of
+		// entries indexed at Open).
+		return string(victims[i].key[:]) < string(victims[j].key[:])
+	})
+	for _, v := range victims {
+		if s.bytes.Load() <= s.maxBytes {
+			return
+		}
+		sh := &s.shards[v.key[0]]
+		sh.mu.Lock()
+		de, present := sh.disk[v.key]
+		// Skip entries touched or rewritten since the snapshot: they are
+		// no longer the LRU story the sort told.
+		if present && de.lastUse == v.lastUse {
+			if err := os.Remove(s.path(v.key)); err == nil || os.IsNotExist(err) {
+				s.dropDiskLocked(sh, v.key)
+				s.evictions.Add(1)
+			}
+		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -273,75 +597,6 @@ func unwrap(key Key, raw []byte) ([]byte, error) {
 		return nil, fmt.Errorf("payload checksum mismatch")
 	}
 	return payload, nil
-}
-
-// quarantine renames a failed entry aside (keeping it for post-mortems) and
-// logs the first occurrence. It is best-effort: if the rename fails the
-// entry stays and keeps costing a verification per Get, still never served.
-func (s *Store) quarantine(path string, size int64, cause error) {
-	s.quarantined.Add(1)
-	if os.Rename(path, path+".corrupt") == nil {
-		s.mu.Lock()
-		s.bytes -= size
-		s.entries--
-		s.mu.Unlock()
-	}
-	if s.log != nil && s.loggedCorrupt.CompareAndSwap(false, true) {
-		s.log("resultstore: quarantined corrupt entry %s (%v); falling back to simulation", path, cause)
-	}
-}
-
-// touch marks an entry recently used so eviction takes others first. The
-// clock reading is store maintenance only: LRU order can never influence a
-// served payload, let alone a simulation.
-func (s *Store) touch(path string) {
-	now := time.Now() //detlint:allow wallclock -- LRU recency stamp on store maintenance; payloads and simulation results never see it
-	os.Chtimes(path, now, now)
-}
-
-// evictLocked removes least-recently-used entries until the footprint fits
-// the budget. keep is the entry just written, exempt so a single oversized
-// Put does not evict itself. Called with s.mu held.
-func (s *Store) evictLocked(keep string) {
-	if s.maxBytes < 0 || s.bytes <= s.maxBytes {
-		return
-	}
-	type entry struct {
-		path  string
-		size  int64
-		mtime time.Time
-	}
-	var entries []entry
-	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || path == keep {
-			return nil
-		}
-		if ext := filepath.Ext(path); ext == ".tmp" || ext == ".corrupt" {
-			return nil
-		}
-		info, err := d.Info()
-		if err != nil {
-			return nil
-		}
-		entries = append(entries, entry{path, info.Size(), info.ModTime()})
-		return nil
-	})
-	sort.Slice(entries, func(i, j int) bool {
-		if !entries[i].mtime.Equal(entries[j].mtime) {
-			return entries[i].mtime.Before(entries[j].mtime)
-		}
-		return entries[i].path < entries[j].path // stable order for equal stamps
-	})
-	for _, e := range entries {
-		if s.bytes <= s.maxBytes {
-			return
-		}
-		if os.Remove(e.path) == nil {
-			s.bytes -= e.size
-			s.entries--
-			s.evictions.Add(1)
-		}
-	}
 }
 
 // fnv64 is FNV-1a over the payload, the envelope's integrity checksum.

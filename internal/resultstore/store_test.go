@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
-	"time"
 )
 
 func openT(t *testing.T, dir string, opt Options) *Store {
@@ -88,7 +87,10 @@ func TestPutReplacesExisting(t *testing.T) {
 func TestCorruptionQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	var logged int
-	s := openT(t, dir, Options{Log: func(string, ...any) { logged++ }})
+	// Memory tier off: the writer's own residency would otherwise —
+	// correctly — keep serving the pristine bytes and never read the
+	// corrupted file. This test is about the disk read path.
+	s := openT(t, dir, Options{MemBytes: -1, Log: func(string, ...any) { logged++ }})
 	key := KeyOf([]byte("victim"))
 	if err := s.Put(key, []byte("pristine payload bytes")); err != nil {
 		t.Fatal(err)
@@ -167,19 +169,11 @@ func TestLRUEviction(t *testing.T) {
 	s := openT(t, dir, Options{MaxBytes: 3 * entrySize})
 
 	keys := make([]Key, 4)
-	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	for i := range keys {
+		// Recency is the store's logical clock, so Put order alone pins
+		// the LRU order: entry 0 is the eviction victim.
 		keys[i] = KeyOf([]byte(fmt.Sprintf("entry-%d", i)))
 		if err := s.Put(keys[i], payload); err != nil {
-			t.Fatal(err)
-		}
-		// Pin distinct mtimes so LRU order is unambiguous regardless of
-		// filesystem timestamp granularity.
-		stamp := base.Add(time.Duration(i) * time.Hour)
-		if i == 3 {
-			break // the just-written entry keeps its natural (newest) stamp
-		}
-		if err := os.Chtimes(filepath.Join(dir, keys[i].String()[:2], keys[i].String()), stamp, stamp); err != nil {
 			t.Fatal(err)
 		}
 	}
